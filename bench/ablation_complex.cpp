@@ -1,0 +1,44 @@
+/// Ablation / extension: complex domino gates (the paper's solution 7 —
+/// "Complex domino structures with the output inverters replaced by
+/// static NAND or NOR gates may be used to break up large parallel logic
+/// trees").  The mapper may form a gate from TWO pulldowns joined by a
+/// static NAND2; wide parallel trees then fit in one gate (effective
+/// width 2 x Wmax) with each stack bottom separately grounded.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace soidom;
+using namespace soidom::bench;
+
+int main() {
+  ResultTable table({"circuit", "variant", "#G", "dual", "T_logic",
+                     "T_disch", "T_total", "L"});
+  for (const std::string& name : table2_circuits()) {
+    FlowOptions classic;
+    FlowOptions complex_gates;
+    complex_gates.mapper.enable_complex_gates = true;
+    const FlowResult a = run_checked(name, classic);
+    const FlowResult b = run_checked(name, complex_gates);
+    int duals = 0;
+    for (const DominoGate& g : b.netlist.gates()) {
+      if (g.dual()) ++duals;
+    }
+    table.add_row({name, "classic", ResultTable::cell(a.stats.num_gates), "0",
+                   ResultTable::cell(a.stats.t_logic),
+                   ResultTable::cell(a.stats.t_disch),
+                   ResultTable::cell(a.stats.t_total),
+                   ResultTable::cell(a.stats.levels)});
+    table.add_row({name, "complex", ResultTable::cell(b.stats.num_gates),
+                   ResultTable::cell(duals),
+                   ResultTable::cell(b.stats.t_logic),
+                   ResultTable::cell(b.stats.t_disch),
+                   ResultTable::cell(b.stats.t_total),
+                   ResultTable::cell(b.stats.levels)});
+    table.add_separator();
+  }
+  std::puts("Ablation -- complex (dual-pulldown NAND) domino gates, "
+            "paper solution 7\n");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// Ablation beyond the paper: sweep of the pulldown shape limits Wmax x
+/// Hmax around the paper's operating point (5 x 8).  Larger pulldowns mean
+/// fewer gates (less clock overhead) but taller/wider PBE-prone stacks.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace soidom;
+using namespace soidom::bench;
+
+int main() {
+  const std::vector<std::string> circuits = {"cordic", "9symml", "apex7",
+                                             "t481", "c1908"};
+  const std::pair<int, int> limits[] = {{2, 2}, {3, 4}, {5, 8},
+                                        {6, 10}, {8, 12}};
+
+  ResultTable table({"circuit", "Wmax", "Hmax", "#G", "T_logic", "T_disch",
+                     "T_total", "T_clock", "L"});
+  for (const std::string& name : circuits) {
+    for (const auto& [w, h] : limits) {
+      FlowOptions opts;
+      opts.variant = FlowVariant::kSoiDominoMap;
+      opts.mapper.max_width = w;
+      opts.mapper.max_height = h;
+      const DominoStats s = run_checked(name, opts).stats;
+      table.add_row({name, ResultTable::cell(w), ResultTable::cell(h),
+                     ResultTable::cell(s.num_gates),
+                     ResultTable::cell(s.t_logic),
+                     ResultTable::cell(s.t_disch),
+                     ResultTable::cell(s.t_total),
+                     ResultTable::cell(s.t_clock),
+                     ResultTable::cell(s.levels)});
+    }
+    table.add_separator();
+  }
+  std::puts("Ablation -- pulldown shape limits (paper point: Wmax=5, Hmax=8)\n");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

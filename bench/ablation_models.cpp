@@ -1,0 +1,56 @@
+/// Ablation beyond the paper: how the design choices called out in
+/// DESIGN.md section 2 move the results.  For a subset of circuits the
+/// SOI flow runs under
+///   * both pending-point models (coherent vs the paper's literal formula),
+///   * both stack-ordering strategies (exhaustive vs the paper heuristic),
+///   * all three grounding policies,
+/// reporting T_disch / T_total for each combination.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace soidom;
+using namespace soidom::bench;
+
+int main() {
+  const std::vector<std::string> circuits = {"cm150", "z4ml",  "cordic",
+                                             "frg1",  "9symml", "apex7",
+                                             "t481",  "c1908", "k2"};
+
+  ResultTable table({"circuit", "variant", "T_disch", "T_total", "#G"});
+  for (const std::string& name : circuits) {
+    struct Variant {
+      const char* label;
+      PendingModel model;
+      bool exhaustive;
+      GroundingPolicy grounding;
+    };
+    const Variant variants[] = {
+        {"coherent/exhaustive/footless", PendingModel::kCoherent, true,
+         GroundingPolicy::kFootlessGrounded},
+        {"coherent/heuristic/footless", PendingModel::kCoherent, false,
+         GroundingPolicy::kFootlessGrounded},
+        {"paper-literal/exhaustive/footless", PendingModel::kPaperLiteral,
+         true, GroundingPolicy::kFootlessGrounded},
+        {"coherent/exhaustive/all-grounded", PendingModel::kCoherent, true,
+         GroundingPolicy::kAllGrounded},
+        {"coherent/exhaustive/none-grounded", PendingModel::kCoherent, true,
+         GroundingPolicy::kNoneGrounded},
+    };
+    for (const Variant& v : variants) {
+      FlowOptions opts;
+      opts.variant = FlowVariant::kSoiDominoMap;
+      opts.mapper.pending_model = v.model;
+      opts.mapper.exhaustive_ordering = v.exhaustive;
+      opts.mapper.grounding = v.grounding;
+      const DominoStats s = run_checked(name, opts).stats;
+      table.add_row({name, v.label, ResultTable::cell(s.t_disch),
+                     ResultTable::cell(s.t_total),
+                     ResultTable::cell(s.num_gates)});
+    }
+    table.add_separator();
+  }
+  std::puts("Ablation -- pending-point model / stack ordering / grounding\n");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

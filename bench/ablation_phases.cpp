@@ -1,0 +1,54 @@
+/// Ablation / extension: output phase assignment during unate conversion.
+/// The paper uses simple bubble pushing "to avoid the complexity of [22]"
+/// (Puri et al., output phase assignment); this bench measures what that
+/// simplification costs by running both and comparing the duplication the
+/// binate-to-unate step incurs and the final implementation size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "soidom/unate/unate.hpp"
+
+using namespace soidom;
+using namespace soidom::bench;
+
+int main() {
+  ResultTable table({"circuit", "src gates", "unate gates (bubble)",
+                     "unate gates (phase-assign)", "T_total (bubble)",
+                     "T_total (phase-assign)", "gate saving %"});
+  double sum_pct = 0.0;
+  int rows = 0;
+
+  for (const std::string& name : table2_circuits()) {
+    const Network source = build_benchmark(name);
+    const auto src_gates = static_cast<int>(source.stats().num_gates());
+    const UnateResult naive = make_unate(source, PhaseAssignment::kPositive);
+    const UnateResult greedy =
+        make_unate(source, PhaseAssignment::kGreedyMinDuplication);
+    const auto gates_naive = static_cast<int>(naive.net.stats().num_gates());
+    const auto gates_greedy = static_cast<int>(greedy.net.stats().num_gates());
+
+    FlowOptions base;
+    FlowOptions assigned;
+    assigned.phase_assignment = PhaseAssignment::kGreedyMinDuplication;
+    const int total_naive = run_checked(name, base).stats.t_total;
+    const int total_greedy = run_checked(name, assigned).stats.t_total;
+
+    const double pct = reduction_pct(gates_naive, gates_greedy);
+    sum_pct += pct;
+    ++rows;
+    table.add_row({name, ResultTable::cell(src_gates),
+                   ResultTable::cell(gates_naive),
+                   ResultTable::cell(gates_greedy),
+                   ResultTable::cell(total_naive),
+                   ResultTable::cell(total_greedy),
+                   ResultTable::cell(pct)});
+  }
+  table.add_separator();
+  table.add_row({"Average", "", "", "", "", "", ResultTable::cell(sum_pct / rows)});
+
+  std::puts(
+      "Ablation -- bubble pushing vs greedy output phase assignment "
+      "(paper ref [22])\n");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Calibration report: sizes of the generated benchmark circuits compared
+/// with the paper's Domino_Map T_logic column (Table II / III).  Used when
+/// tuning the registry's generator parameters; kept as a tool so future
+/// re-tuning is one command: build/bench/calibrate
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+namespace {
+
+/// Paper's Domino_Map T_logic (Table II where present, else Table III k=1).
+const std::map<std::string, int> kPaperTLogic = {
+    {"cm150", 73},  {"mux", 73},     {"z4ml", 127},  {"cordic", 199},
+    {"frg1", 244},  {"f51m", 297},   {"count", 333}, {"b9", 365},
+    {"9symml", 424},{"apex7", 663},  {"c432", 655},  {"c880", 1163},
+    {"t481", 1448}, {"c1355", 1856}, {"apex6", 1889},{"c1908", 1924},
+    {"k2", 2446},   {"c2670", 2467}, {"c5315", 5498},{"c7552", 8088},
+    {"des", 9069},  {"c8", 331},     {"x1", 825},    {"i6", 1155},
+    {"c499", 2016}, {"dalu", 2073},  {"rot", 2520},  {"c3540", 6659},
+};
+
+}  // namespace
+
+int main() {
+  using namespace soidom;
+  ResultTable table({"circuit", "PI", "PO", "gates", "depth", "T_logic(ours)",
+                     "T_logic(paper)", "ratio"});
+  for (const std::string& name : benchmark_names()) {
+    const Network net = build_benchmark(name);
+    const NetworkStats s = net.stats();
+    FlowOptions opts;
+    opts.variant = FlowVariant::kDominoMap;
+    const FlowResult r = bench::run_checked(name, opts);
+    const auto it = kPaperTLogic.find(name);
+    const int paper = it == kPaperTLogic.end() ? 0 : it->second;
+    table.add_row({name, ResultTable::cell(static_cast<int>(s.num_pis)),
+                   ResultTable::cell(static_cast<int>(s.num_pos)),
+                   ResultTable::cell(static_cast<int>(s.num_gates())),
+                   ResultTable::cell(s.depth),
+                   ResultTable::cell(r.stats.t_logic),
+                   ResultTable::cell(paper),
+                   paper ? ResultTable::cell(
+                               static_cast<double>(r.stats.t_logic) / paper)
+                         : "-"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Microbenchmarks (google-benchmark): runtime of the individual passes on
+/// registered circuits of increasing size.  Not a paper table — kept so
+/// regressions in the DP's complexity are caught.
+#include <benchmark/benchmark.h>
+
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/decomp/decompose.hpp"
+#include "soidom/domino/postpass.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace {
+
+using namespace soidom;
+
+const char* circuit_for(int index) {
+  static const char* kCircuits[] = {"cm150", "cordic", "apex7", "c1908", "k2"};
+  return kCircuits[index];
+}
+
+void BM_UnateConversion(benchmark::State& state) {
+  const Network net = build_benchmark(circuit_for(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_unate(net));
+  }
+  state.SetLabel(circuit_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_UnateConversion)->DenseRange(0, 4);
+
+void BM_SoiMapping(benchmark::State& state) {
+  const Network net = build_benchmark(circuit_for(static_cast<int>(state.range(0))));
+  const UnateResult unate = make_unate(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_to_domino(unate, MapperOptions{}));
+  }
+  state.SetLabel(circuit_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SoiMapping)->DenseRange(0, 4);
+
+void BM_BulkMappingPlusPostpass(benchmark::State& state) {
+  const Network net = build_benchmark(circuit_for(static_cast<int>(state.range(0))));
+  const UnateResult unate = make_unate(net);
+  MapperOptions opts;
+  opts.engine = MappingEngine::kDominoMap;
+  for (auto _ : state) {
+    MappingResult r = map_to_domino(unate, opts);
+    insert_discharges(r.netlist);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(circuit_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_BulkMappingPlusPostpass)->DenseRange(0, 4);
+
+void BM_FullFlow(benchmark::State& state) {
+  const Network net = build_benchmark(circuit_for(static_cast<int>(state.range(0))));
+  FlowOptions opts;
+  opts.verify_rounds = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_flow(net, opts));
+  }
+  state.SetLabel(circuit_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_FullFlow)->DenseRange(0, 4);
+
+}  // namespace

@@ -1,0 +1,58 @@
+/// Extension experiment: the power reading of Table III.  The paper
+/// penalizes clock-connected transistors because they switch every cycle;
+/// this bench converts the transistor counts into per-cycle dynamic energy
+/// (normalized units, see power/power.hpp) and splits it into the
+/// activity-independent clock term and the data-dependent logic/input
+/// terms, for all three flows.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "soidom/power/power.hpp"
+
+using namespace soidom;
+using namespace soidom::bench;
+
+int main() {
+  const std::vector<std::string> circuits = {"cm150", "z4ml",  "cordic",
+                                             "f51m",  "9symml", "c880",
+                                             "c1908", "k2",    "des"};
+  ResultTable table({"circuit", "flow", "E_clock", "E_logic", "E_input",
+                     "E_total", "clock %"});
+  double clock_share_dm = 0.0;
+  double clock_share_soi = 0.0;
+  int rows = 0;
+
+  for (const std::string& name : circuits) {
+    for (const FlowVariant variant :
+         {FlowVariant::kDominoMap, FlowVariant::kRsMap,
+          FlowVariant::kSoiDominoMap}) {
+      FlowOptions opts;
+      opts.variant = variant;
+      const FlowResult r = run_checked(name, opts);
+      const PowerReport p = estimate_power(r.netlist);
+      const double share = 100.0 * p.clock_energy / p.total();
+      if (variant == FlowVariant::kDominoMap) clock_share_dm += share;
+      if (variant == FlowVariant::kSoiDominoMap) clock_share_soi += share;
+      const char* label = variant == FlowVariant::kDominoMap
+                              ? "Domino_Map"
+                              : (variant == FlowVariant::kRsMap
+                                     ? "RS_Map"
+                                     : "SOI_Domino_Map");
+      table.add_row({name, label, ResultTable::cell(p.clock_energy, 1),
+                     ResultTable::cell(p.logic_energy, 1),
+                     ResultTable::cell(p.input_energy, 1),
+                     ResultTable::cell(p.total(), 1),
+                     ResultTable::cell(share, 1)});
+    }
+    table.add_separator();
+    ++rows;
+  }
+  table.add_row({"Average", "Domino_Map", "", "", "", "",
+                 ResultTable::cell(clock_share_dm / rows, 1)});
+  table.add_row({"Average", "SOI_Domino_Map", "", "", "", "",
+                 ResultTable::cell(clock_share_soi / rows, 1)});
+
+  std::puts("Extension -- per-cycle dynamic energy (normalized units)\n");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// Reproduces Table I: Domino_Map vs Rearrange_Stacks_Map (RS_Map).
+/// Columns match the paper: per circuit, the bulk flow's T_logic / T_disch
+/// / T_total, the same after the stack-rearrangement post-pass, and the
+/// reductions in discharge transistors and total transistors.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace soidom;
+  using namespace soidom::bench;
+
+  ResultTable table({"circuit", "DM T_logic", "DM T_disch", "DM T_total",
+                     "RS T_logic", "RS T_disch", "RS T_total", "dT_disch",
+                     "dT_disch %", "dT_total", "dT_total %"});
+  double sum_disch_pct = 0.0;
+  double sum_total_pct = 0.0;
+  int rows = 0;
+
+  for (const std::string& name : table1_circuits()) {
+    FlowOptions dm;
+    dm.variant = FlowVariant::kDominoMap;
+    FlowOptions rs;
+    rs.variant = FlowVariant::kRsMap;
+    const DominoStats a = run_checked(name, dm).stats;
+    const DominoStats b = run_checked(name, rs).stats;
+
+    const double disch_pct = reduction_pct(a.t_disch, b.t_disch);
+    const double total_pct = reduction_pct(a.t_total, b.t_total);
+    sum_disch_pct += disch_pct;
+    sum_total_pct += total_pct;
+    ++rows;
+    table.add_row({name, ResultTable::cell(a.t_logic),
+                   ResultTable::cell(a.t_disch), ResultTable::cell(a.t_total),
+                   ResultTable::cell(b.t_logic), ResultTable::cell(b.t_disch),
+                   ResultTable::cell(b.t_total),
+                   ResultTable::cell(a.t_disch - b.t_disch),
+                   ResultTable::cell(disch_pct),
+                   ResultTable::cell(a.t_total - b.t_total),
+                   ResultTable::cell(total_pct)});
+  }
+  table.add_separator();
+  table.add_row({"Average", "", "", "", "", "", "", "",
+                 ResultTable::cell(sum_disch_pct / rows), "",
+                 ResultTable::cell(sum_total_pct / rows)});
+
+  std::puts("Table I -- Comparison of Domino_Map and Rearrange_Stacks_Map");
+  std::puts("(paper averages: 25.41% discharge reduction, 3.44% total)\n");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// Reproduces Table II: Domino_Map vs SOI_Domino_Map (the paper's headline
+/// result: about half the discharge transistors and a net total reduction
+/// even though SOI mapping may use more logic transistors).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace soidom;
+  using namespace soidom::bench;
+
+  ResultTable table({"circuit", "DM T_logic", "DM T_disch", "DM T_total",
+                     "SOI T_logic", "SOI T_disch", "SOI T_total", "dT_disch",
+                     "dT_disch %", "dT_total", "dT_total %"});
+  double sum_disch_pct = 0.0;
+  double sum_total_pct = 0.0;
+  int rows = 0;
+
+  for (const std::string& name : table2_circuits()) {
+    FlowOptions dm;
+    dm.variant = FlowVariant::kDominoMap;
+    FlowOptions soi;
+    soi.variant = FlowVariant::kSoiDominoMap;
+    const DominoStats a = run_checked(name, dm).stats;
+    const DominoStats b = run_checked(name, soi).stats;
+
+    const double disch_pct = reduction_pct(a.t_disch, b.t_disch);
+    const double total_pct = reduction_pct(a.t_total, b.t_total);
+    sum_disch_pct += disch_pct;
+    sum_total_pct += total_pct;
+    ++rows;
+    table.add_row({name, ResultTable::cell(a.t_logic),
+                   ResultTable::cell(a.t_disch), ResultTable::cell(a.t_total),
+                   ResultTable::cell(b.t_logic), ResultTable::cell(b.t_disch),
+                   ResultTable::cell(b.t_total),
+                   ResultTable::cell(a.t_disch - b.t_disch),
+                   ResultTable::cell(disch_pct),
+                   ResultTable::cell(a.t_total - b.t_total),
+                   ResultTable::cell(total_pct)});
+  }
+  table.add_separator();
+  table.add_row({"Average", "", "", "", "", "", "", "",
+                 ResultTable::cell(sum_disch_pct / rows), "",
+                 ResultTable::cell(sum_total_pct / rows)});
+
+  std::puts("Table II -- Comparison of Domino_Map and SOI_Domino_Map");
+  std::puts("(paper averages: 53.00% discharge reduction, 6.29% total)\n");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

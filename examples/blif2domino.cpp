@@ -1,0 +1,153 @@
+/// Command-line front end: map a combinational BLIF or structural Verilog
+/// file to SOI domino logic.
+///
+///   build/examples/blif2domino [options] circuit.{blif,v}
+///
+/// Options:
+///   --flow=domino|rs|soi     mapping flow (default soi)
+///   --objective=area|depth   cost objective (default area)
+///   --wmax=N --hmax=N        pulldown shape limits (default 5 / 8)
+///   --k=F                    clock-transistor cost weight (default 1.0)
+///   --minimize               two-level minimize covers before mapping (BLIF)
+///   --seq-aware              prune unexcitable discharge transistors
+///   --exact                  exact BDD equivalence checking
+///   --dump                   print the mapped netlist
+///   --spice=FILE             write a transistor-level SPICE deck
+///   --verilog=FILE           write a structural Verilog view
+///   --dnl=FILE               write the netlist interchange format
+///   --timing                 print the timing / hysteresis report
+///   --power                  print the dynamic-energy estimate
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "soidom/core/flow.hpp"
+#include "soidom/domino/export.hpp"
+#include "soidom/domino/serialize.hpp"
+#include "soidom/power/power.hpp"
+#include "soidom/timing/timing.hpp"
+#include "soidom/verilog/parser.hpp"
+
+using namespace soidom;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--flow=domino|rs|soi] [--objective=area|depth]\n"
+      "          [--wmax=N] [--hmax=N] [--k=F] [--minimize] [--seq-aware]\n"
+      "          [--exact] [--dump] [--spice=FILE] [--verilog=FILE]\n"
+      "          [--timing] [--power] circuit.{blif,v}\n",
+      argv0);
+  std::exit(2);
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlowOptions options;
+  bool dump = false;
+  bool want_timing = false;
+  bool want_power = false;
+  std::string spice_path;
+  std::string verilog_path;
+  std::string dnl_path;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flow=domino") {
+      options.variant = FlowVariant::kDominoMap;
+    } else if (arg == "--flow=rs") {
+      options.variant = FlowVariant::kRsMap;
+    } else if (arg == "--flow=soi") {
+      options.variant = FlowVariant::kSoiDominoMap;
+    } else if (arg == "--objective=area") {
+      options.mapper.objective = CostObjective::kArea;
+    } else if (arg == "--objective=depth") {
+      options.mapper.objective = CostObjective::kDepth;
+    } else if (arg.rfind("--wmax=", 0) == 0) {
+      options.mapper.max_width = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--hmax=", 0) == 0) {
+      options.mapper.max_height = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--k=", 0) == 0) {
+      options.mapper.clock_weight = std::atof(arg.c_str() + 4);
+    } else if (arg == "--minimize") {
+      options.decompose.minimize_covers = true;
+    } else if (arg == "--seq-aware") {
+      options.sequence_aware = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--exact") {
+      options.exact_equivalence = true;
+    } else if (arg.rfind("--spice=", 0) == 0) {
+      spice_path = arg.substr(8);
+    } else if (arg.rfind("--verilog=", 0) == 0) {
+      verilog_path = arg.substr(10);
+    } else if (arg.rfind("--dnl=", 0) == 0) {
+      dnl_path = arg.substr(6);
+    } else if (arg == "--timing") {
+      want_timing = true;
+    } else if (arg == "--power") {
+      want_power = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (path.empty()) usage(argv[0]);
+
+  try {
+    const FlowResult result =
+        ends_with(path, ".v") || ends_with(path, ".sv")
+            ? run_flow(parse_verilog_file(path), options)
+            : run_flow_file(path, options);
+    std::printf("%s: %s\n", path.c_str(), summarize(result).c_str());
+    if (options.sequence_aware) {
+      std::printf("sequence-aware pruning removed %d discharge transistor(s)\n",
+                  result.discharges_pruned);
+    }
+    if (dump) std::fputs(result.netlist.dump().c_str(), stdout);
+    if (want_timing) {
+      std::fputs(analyze_timing(result.netlist).to_string().c_str(), stdout);
+    }
+    if (want_power) {
+      const PowerReport p = estimate_power(result.netlist);
+      std::printf("energy/cycle: clock=%.1f logic=%.1f input=%.1f total=%.1f\n",
+                  p.clock_energy, p.logic_energy, p.input_energy, p.total());
+    }
+    if (!spice_path.empty()) {
+      std::ofstream(spice_path) << export_spice(result.netlist, path);
+      std::printf("wrote %s\n", spice_path.c_str());
+    }
+    if (!verilog_path.empty()) {
+      std::ofstream(verilog_path) << export_verilog(result.netlist, "mapped");
+      std::printf("wrote %s\n", verilog_path.c_str());
+    }
+    if (!dnl_path.empty()) {
+      write_dnl_file(result.netlist, dnl_path);
+      std::printf("wrote %s\n", dnl_path.c_str());
+    }
+    if (!result.ok()) {
+      std::fprintf(stderr, "verification problems:\n%s%s",
+                   result.structure.to_string().c_str(),
+                   result.function.to_string().c_str());
+      return 1;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

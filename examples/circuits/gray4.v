@@ -1,0 +1,14 @@
+// 4-bit binary-to-Gray converter plus parity — a small structural
+// Verilog sample for the blif2domino front end:
+//   build/examples/blif2domino --timing examples/circuits/gray4.v
+module gray4 (
+  input [3:0] bin,
+  output [3:0] gray,
+  output parity
+);
+  assign gray[3] = bin[3];
+  assign gray[2] = bin[3] ^ bin[2];
+  assign gray[1] = bin[2] ^ bin[1];
+  assign gray[0] = bin[1] ^ bin[0];
+  assign parity = bin[3] ^ bin[2] ^ bin[1] ^ bin[0];
+endmodule

@@ -1,0 +1,64 @@
+/// Compare the three mapping flows (Domino_Map, RS_Map, SOI_Domino_Map)
+/// and both cost objectives on one benchmark circuit.
+///
+/// Build & run:   build/examples/compare_flows [circuit]
+/// Default circuit: cordic.  Try: build/examples/compare_flows 9symml
+#include <cstdio>
+#include <string>
+
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/report/table.hpp"
+
+using namespace soidom;
+
+int main(int argc, char** argv) {
+  const std::string circuit = argc > 1 ? argv[1] : "cordic";
+  if (!is_known_benchmark(circuit)) {
+    std::fprintf(stderr, "unknown circuit '%s'; known circuits:\n",
+                 circuit.c_str());
+    for (const std::string& n : benchmark_names()) {
+      std::fprintf(stderr, "  %s\n", n.c_str());
+    }
+    return 1;
+  }
+
+  const Network source = build_benchmark(circuit);
+  const NetworkStats ns = source.stats();
+  std::printf("circuit '%s': %zu PIs, %zu POs, %zu 2-input gates, depth %d\n\n",
+              circuit.c_str(), ns.num_pis, ns.num_pos, ns.num_gates(),
+              ns.depth);
+
+  struct Row {
+    const char* label;
+    FlowVariant variant;
+    CostObjective objective;
+  };
+  const Row rows[] = {
+      {"Domino_Map (area)", FlowVariant::kDominoMap, CostObjective::kArea},
+      {"RS_Map (area)", FlowVariant::kRsMap, CostObjective::kArea},
+      {"SOI_Domino_Map (area)", FlowVariant::kSoiDominoMap,
+       CostObjective::kArea},
+      {"Domino_Map (depth)", FlowVariant::kDominoMap, CostObjective::kDepth},
+      {"SOI_Domino_Map (depth)", FlowVariant::kSoiDominoMap,
+       CostObjective::kDepth},
+  };
+
+  ResultTable table({"flow", "#G", "T_logic", "T_disch", "T_total", "T_clock",
+                     "L", "verified"});
+  for (const Row& row : rows) {
+    FlowOptions options;
+    options.variant = row.variant;
+    options.mapper.objective = row.objective;
+    const FlowResult r = run_flow(source, options);
+    table.add_row({row.label, ResultTable::cell(r.stats.num_gates),
+                   ResultTable::cell(r.stats.t_logic),
+                   ResultTable::cell(r.stats.t_disch),
+                   ResultTable::cell(r.stats.t_total),
+                   ResultTable::cell(r.stats.t_clock),
+                   ResultTable::cell(r.stats.levels),
+                   r.ok() ? "yes" : "NO"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file contracts.hpp
+/// Precondition / invariant checking and the library-wide error type.
+///
+/// Conventions (see DESIGN.md):
+///  * Recoverable, input-dependent failures (bad BLIF text, infeasible
+///    mapping limits, ...) throw soidom::Error with a descriptive message.
+///  * Programming-logic violations use SOIDOM_ASSERT and abort; they are
+///    compiled in all build types because the mapper's correctness
+///    arguments rest on these invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace soidom {
+
+/// Exception thrown for all recoverable, user-visible failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failure(const char* expr, const char* file,
+                                    int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace soidom
+
+/// Internal invariant check; active in every build type.
+#define SOIDOM_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::soidom::detail::assertion_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                    \
+  } while (false)
+
+/// Internal invariant check with an explanatory message.
+#define SOIDOM_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::soidom::detail::assertion_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)
+
+/// Precondition on caller-supplied data: throws soidom::Error on failure.
+#define SOIDOM_REQUIRE(expr, msg)        \
+  do {                                   \
+    if (!(expr)) {                       \
+      throw ::soidom::Error(msg);        \
+    }                                    \
+  } while (false)

@@ -1,0 +1,27 @@
+/// \file strings.hpp
+/// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soidom {
+
+/// Split on any run of the characters in `seps`; empty tokens are dropped.
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view seps = " \t");
+
+/// Remove leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format a ratio as a percentage with two decimals, e.g. "53.00".
+std::string percent(double numerator, double denominator);
+
+}  // namespace soidom

@@ -1,0 +1,15 @@
+#include "soidom/base/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace soidom::detail {
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::fprintf(stderr, "soidom: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, message.empty() ? "" : " -- ", message.c_str());
+  std::abort();
+}
+
+}  // namespace soidom::detail

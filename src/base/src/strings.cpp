@@ -1,0 +1,56 @@
+#include "soidom/base/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace soidom {
+
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view seps) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && seps.find(text[i]) != std::string_view::npos) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < text.size() && seps.find(text[j]) == std::string_view::npos) {
+      ++j;
+    }
+    if (j > i) out.push_back(text.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const std::string_view ws = " \t\r\n";
+  const auto b = text.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const auto e = text.find_last_not_of(ws);
+  return text.substr(b, e - b + 1);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+std::string percent(double numerator, double denominator) {
+  if (denominator == 0.0) return "0.00";
+  return format("%.2f", 100.0 * numerator / denominator);
+}
+
+}  // namespace soidom

@@ -1,0 +1,23 @@
+/// \file equivalence.hpp
+/// Exact (BDD-based) functional equivalence of logic networks.  The
+/// corresponding check for mapped domino netlists lives in
+/// soidom/domino/exact.hpp (the netlist IR is a higher layer).
+#pragma once
+
+#include <optional>
+
+#include "soidom/bdd/bdd.hpp"
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// BDDs of every primary output of `net`, with variable v == pis()[v].
+std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
+                                               const Network& net);
+
+/// Exact equivalence of two networks with identical PI/PO order.
+/// std::nullopt when the node limit was exceeded (fall back to sim).
+std::optional<bool> equivalent_exact(const Network& a, const Network& b,
+                                     std::size_t node_limit = 1u << 22);
+
+}  // namespace soidom

@@ -1,0 +1,58 @@
+#include "soidom/bdd/equivalence.hpp"
+
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+
+std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
+                                               const Network& net) {
+  SOIDOM_REQUIRE(manager.num_vars() >= net.pis().size(),
+                 "BDD manager has fewer variables than network PIs");
+  std::vector<BddManager::Ref> value(net.size(), BddManager::kFalse);
+  value[kConst1Id.value] = BddManager::kTrue;
+  for (std::size_t v = 0; v < net.pis().size(); ++v) {
+    value[net.pis()[v].value] = manager.var(static_cast<unsigned>(v));
+  }
+  for (std::uint32_t i = 2; i < net.size(); ++i) {
+    const Node& n = net.node(NodeId{i});
+    switch (n.kind) {
+      case NodeKind::kAnd:
+        value[i] =
+            manager.apply_and(value[n.fanin0.value], value[n.fanin1.value]);
+        break;
+      case NodeKind::kOr:
+        value[i] =
+            manager.apply_or(value[n.fanin0.value], value[n.fanin1.value]);
+        break;
+      case NodeKind::kInv:
+        value[i] = manager.negate(value[n.fanin0.value]);
+        break;
+      case NodeKind::kBuf:
+        value[i] = value[n.fanin0.value];
+        break;
+      case NodeKind::kPi:
+        break;
+      default:
+        SOIDOM_ASSERT_MSG(false, "unexpected node kind");
+    }
+  }
+  std::vector<BddManager::Ref> out;
+  out.reserve(net.outputs().size());
+  for (const Output& o : net.outputs()) out.push_back(value[o.driver.value]);
+  return out;
+}
+
+std::optional<bool> equivalent_exact(const Network& a, const Network& b,
+                                     std::size_t node_limit) {
+  SOIDOM_REQUIRE(a.pis().size() == b.pis().size() &&
+                     a.outputs().size() == b.outputs().size(),
+                 "equivalent_exact: interface mismatch");
+  try {
+    BddManager manager(static_cast<unsigned>(a.pis().size()), node_limit);
+    return build_output_bdds(manager, a) == build_output_bdds(manager, b);
+  } catch (const Error&) {
+    return std::nullopt;  // node limit exceeded
+  }
+}
+
+}  // namespace soidom

@@ -1,0 +1,48 @@
+/// \file blif.hpp
+/// Parsing and writing of the Berkeley Logic Interchange Format (BLIF),
+/// the combinational subset: .model / .inputs / .outputs / .names / .end.
+/// Sequential elements (.latch) and hierarchy (.subckt, .gate) are
+/// rejected with a clear error, matching the paper's combinational scope.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "soidom/blif/sop.hpp"
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// One .names table: a single-output node defined by an SOP cover.
+struct BlifTable {
+  std::vector<std::string> inputs;  ///< fanin signal names, in cube order
+  std::string output;               ///< defined signal name
+  SopCover cover;
+};
+
+/// A flat combinational BLIF model.
+struct BlifModel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<BlifTable> tables;
+
+  /// Index of the table defining `signal`, or -1 (primary input or undefined).
+  int table_defining(std::string_view signal) const;
+};
+
+/// Parse BLIF from text.  Throws soidom::Error with a line-numbered message
+/// on malformed input or unsupported constructs.
+BlifModel parse_blif(std::string_view text);
+
+/// Parse BLIF from a file.
+BlifModel parse_blif_file(const std::string& path);
+
+/// Serialize a model back to BLIF text.
+std::string write_blif(const BlifModel& model);
+
+/// Serialize a Network as BLIF (one .names per logic node).
+std::string write_blif(const Network& net, const std::string& model_name);
+
+}  // namespace soidom

@@ -1,0 +1,58 @@
+/// \file sop.hpp
+/// Sum-of-products cover representation used by .names tables in BLIF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soidom {
+
+/// Literal polarity within a cube.
+enum class CubeLit : std::uint8_t {
+  kNeg,      ///< input must be 0  ('0' in BLIF)
+  kPos,      ///< input must be 1  ('1' in BLIF)
+  kDontCare  ///< input unused     ('-' in BLIF)
+};
+
+/// One product term over `num_inputs` variables.
+struct Cube {
+  std::vector<CubeLit> lits;
+
+  bool matches(const std::vector<bool>& inputs) const;
+  /// Number of non-don't-care literals.
+  int care_count() const;
+};
+
+/// A cover: OR of cubes.  `on_set` mirrors BLIF's output column: when
+/// false, the cover describes the OFF-set and the function is the
+/// complement of the OR of cubes.  An empty cube list denotes constant
+/// 0 (on_set) or constant 1 (off_set) per BLIF convention.
+struct SopCover {
+  std::size_t num_inputs = 0;
+  std::vector<Cube> cubes;
+  bool on_set = true;
+
+  /// Evaluate on a full input assignment.
+  bool eval(const std::vector<bool>& inputs) const;
+
+  /// True if the function is constant; `value` receives the constant.
+  bool is_constant(bool& value) const;
+
+  /// True if no literal appears in both polarities across the whole cover
+  /// (a sufficient syntactic condition for unateness per input).
+  bool syntactically_unate() const;
+
+  /// BLIF body text (the lines that follow a .names header).
+  std::string to_blif_body() const;
+
+  // --- canonical single-node covers --------------------------------------
+  static SopCover const_zero();
+  static SopCover const_one();
+  static SopCover buffer();                        ///< f = a
+  static SopCover inverter();                      ///< f = !a
+  static SopCover and_n(std::size_t n);            ///< f = a1&...&an
+  static SopCover or_n(std::size_t n);             ///< f = a1|...|an
+};
+
+}  // namespace soidom

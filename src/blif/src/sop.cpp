@@ -1,0 +1,122 @@
+#include "soidom/blif/sop.hpp"
+
+#include "soidom/base/contracts.hpp"
+
+namespace soidom {
+
+bool Cube::matches(const std::vector<bool>& inputs) const {
+  SOIDOM_ASSERT(inputs.size() == lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (lits[i] == CubeLit::kPos && !inputs[i]) return false;
+    if (lits[i] == CubeLit::kNeg && inputs[i]) return false;
+  }
+  return true;
+}
+
+int Cube::care_count() const {
+  int n = 0;
+  for (const CubeLit l : lits) {
+    if (l != CubeLit::kDontCare) ++n;
+  }
+  return n;
+}
+
+bool SopCover::eval(const std::vector<bool>& inputs) const {
+  SOIDOM_ASSERT(inputs.size() == num_inputs);
+  bool any = false;
+  for (const Cube& c : cubes) {
+    if (c.matches(inputs)) {
+      any = true;
+      break;
+    }
+  }
+  return on_set ? any : !any;
+}
+
+bool SopCover::is_constant(bool& value) const {
+  if (cubes.empty()) {
+    value = !on_set;
+    return true;
+  }
+  // A cover with a single all-don't-care cube is also constant.
+  if (num_inputs == 0 ||
+      (cubes.size() == 1 && cubes.front().care_count() == 0)) {
+    value = on_set;
+    return true;
+  }
+  return false;
+}
+
+bool SopCover::syntactically_unate() const {
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    bool pos = false;
+    bool neg = false;
+    for (const Cube& c : cubes) {
+      if (c.lits[i] == CubeLit::kPos) pos = true;
+      if (c.lits[i] == CubeLit::kNeg) neg = true;
+    }
+    if (pos && neg) return false;
+  }
+  return true;
+}
+
+std::string SopCover::to_blif_body() const {
+  std::string out;
+  const char out_char = on_set ? '1' : '0';
+  // Empty cube list: BLIF writes constant 0 (empty on-set) as an empty
+  // body; constant 1 is represented canonically by const_one(), whose
+  // single empty cube serializes to the standard bare "1" line below.
+  if (cubes.empty()) return out;
+  for (const Cube& c : cubes) {
+    std::string line;
+    for (const CubeLit l : c.lits) {
+      line += l == CubeLit::kPos ? '1' : (l == CubeLit::kNeg ? '0' : '-');
+    }
+    if (!line.empty()) line += ' ';
+    line += out_char;
+    line += '\n';
+    out += line;
+  }
+  return out;
+}
+
+SopCover SopCover::const_zero() { return SopCover{0, {}, true}; }
+
+SopCover SopCover::const_one() {
+  SopCover s{0, {}, true};
+  s.cubes.push_back(Cube{});  // one empty cube: always matches
+  return s;
+}
+
+SopCover SopCover::buffer() {
+  SopCover s{1, {}, true};
+  s.cubes.push_back(Cube{{CubeLit::kPos}});
+  return s;
+}
+
+SopCover SopCover::inverter() {
+  SopCover s{1, {}, true};
+  s.cubes.push_back(Cube{{CubeLit::kNeg}});
+  return s;
+}
+
+SopCover SopCover::and_n(std::size_t n) {
+  SopCover s{n, {}, true};
+  Cube c;
+  c.lits.assign(n, CubeLit::kPos);
+  s.cubes.push_back(std::move(c));
+  return s;
+}
+
+SopCover SopCover::or_n(std::size_t n) {
+  SopCover s{n, {}, true};
+  for (std::size_t i = 0; i < n; ++i) {
+    Cube c;
+    c.lits.assign(n, CubeLit::kDontCare);
+    c.lits[i] = CubeLit::kPos;
+    s.cubes.push_back(std::move(c));
+  }
+  return s;
+}
+
+}  // namespace soidom

@@ -1,0 +1,85 @@
+/// \file flow.hpp
+/// The library's top-level facade: one call runs the full pipeline
+///
+///   BLIF / Network  ->  2-input decomposition  ->  unate conversion
+///     ->  technology mapping (Domino_Map / SOI_Domino_Map)
+///     ->  optional post-passes (discharge insertion, stack rearrangement)
+///     ->  statistics + structural / functional verification.
+///
+/// This is the entry point examples and benches use; individual stages
+/// remain available through their own modules for finer control.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "soidom/blif/blif.hpp"
+#include "soidom/decomp/decompose.hpp"
+#include "soidom/domino/netlist.hpp"
+#include "soidom/domino/stats.hpp"
+#include "soidom/domino/verify.hpp"
+#include "soidom/mapper/mapper.hpp"
+#include "soidom/network/network.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace soidom {
+
+/// Which flow variant to run (the three algorithms compared in the paper).
+enum class FlowVariant : std::uint8_t {
+  kDominoMap,     ///< bulk mapper + discharge insertion post-pass
+  kRsMap,         ///< bulk mapper + stack rearrangement + discharge insertion
+  kSoiDominoMap,  ///< the paper's PBE-aware mapper
+};
+
+struct FlowOptions {
+  FlowVariant variant = FlowVariant::kSoiDominoMap;
+  DecomposeOptions decompose;
+  /// Output phase assignment during unate conversion (unate/unate.hpp).
+  PhaseAssignment phase_assignment = PhaseAssignment::kPositive;
+  /// Mapper knobs; `mapper.engine` is overridden by `variant`.
+  MapperOptions mapper;
+  /// Sequence-aware discharge pruning (the paper's section VII future-work
+  /// item): remove discharge transistors whose PBE-exciting input
+  /// condition is provably unsatisfiable.  See domino/seqaware.hpp.
+  bool sequence_aware = false;
+  /// Functional verification by random simulation (0 disables).
+  int verify_rounds = 8;
+  std::uint64_t verify_seed = 0x50D0;
+  /// Additionally attempt exact BDD equivalence (skipped on blow-up).
+  bool exact_equivalence = false;
+  std::size_t bdd_node_limit = 1u << 22;
+};
+
+struct FlowResult {
+  UnateResult unate;
+  DominoNetlist netlist;
+  DominoStats stats;
+  VerifyReport structure;
+  VerifyReport function;
+  /// Result of BDD equivalence when requested and tractable.
+  std::optional<bool> exact;
+  int dp_analyzer_mismatches = 0;
+  /// Discharge transistors removed by sequence-aware pruning (0 unless
+  /// FlowOptions::sequence_aware).
+  int discharges_pruned = 0;
+
+  bool ok() const {
+    return structure.ok() && function.ok() && exact.value_or(true) &&
+           dp_analyzer_mismatches == 0;
+  }
+};
+
+/// Map `source` (any AND/OR/INV/BUF network).
+FlowResult run_flow(const Network& source, const FlowOptions& options = {});
+
+/// Decompose and map a flat BLIF model.
+FlowResult run_flow(const BlifModel& model, const FlowOptions& options = {});
+
+/// Parse, decompose and map a BLIF file.
+FlowResult run_flow_file(const std::string& path,
+                         const FlowOptions& options = {});
+
+/// Short human-readable summary line ("gates=12 T_logic=96 ...").
+std::string summarize(const FlowResult& result);
+
+}  // namespace soidom

@@ -1,0 +1,75 @@
+#include "soidom/core/flow.hpp"
+
+#include "soidom/base/strings.hpp"
+#include "soidom/domino/exact.hpp"
+#include "soidom/domino/postpass.hpp"
+#include "soidom/domino/seqaware.hpp"
+
+namespace soidom {
+
+FlowResult run_flow(const Network& source, const FlowOptions& options) {
+  FlowResult result;
+  result.unate = make_unate(source, options.phase_assignment);
+
+  MapperOptions mopts = options.mapper;
+  mopts.engine = options.variant == FlowVariant::kSoiDominoMap
+                     ? MappingEngine::kSoiDominoMap
+                     : MappingEngine::kDominoMap;
+  MappingResult mapped = map_to_domino(result.unate, mopts);
+  result.dp_analyzer_mismatches = mapped.dp_analyzer_mismatches;
+  result.netlist = std::move(mapped.netlist);
+
+  switch (options.variant) {
+    case FlowVariant::kDominoMap:
+      insert_discharges(result.netlist, mopts.grounding, mopts.pending_model);
+      break;
+    case FlowVariant::kRsMap:
+      rearrange_stacks(result.netlist, mopts.grounding, mopts.pending_model);
+      break;
+    case FlowVariant::kSoiDominoMap:
+      break;  // discharges are part of the mapping
+  }
+
+  if (options.sequence_aware) {
+    result.discharges_pruned =
+        prune_unexcitable_discharges(result.netlist).points_pruned;
+  }
+
+  result.stats = compute_stats(result.netlist);
+  result.structure =
+      verify_structure(result.netlist, mopts.grounding, mopts.pending_model,
+                       /*allow_unexcitable_unprotected=*/options.sequence_aware);
+  if (options.verify_rounds > 0) {
+    Rng rng(options.verify_seed);
+    result.function = verify_function(result.netlist, source,
+                                      options.verify_rounds, rng);
+  }
+  if (options.exact_equivalence) {
+    result.exact =
+        equivalent_exact(result.netlist, source, options.bdd_node_limit);
+  }
+  return result;
+}
+
+FlowResult run_flow(const BlifModel& model, const FlowOptions& options) {
+  return run_flow(decompose(model, options.decompose), options);
+}
+
+FlowResult run_flow_file(const std::string& path, const FlowOptions& options) {
+  return run_flow(parse_blif_file(path), options);
+}
+
+std::string summarize(const FlowResult& r) {
+  std::string out = format(
+      "gates=%d T_logic=%d T_disch=%d T_total=%d T_clock=%d levels=%d "
+      "structure=%s function=%s",
+      r.stats.num_gates, r.stats.t_logic, r.stats.t_disch, r.stats.t_total,
+      r.stats.t_clock, r.stats.levels, r.structure.ok() ? "ok" : "FAIL",
+      r.function.ok() ? "ok" : "FAIL");
+  if (r.exact.has_value()) {
+    out += format(" exact=%s", *r.exact ? "equivalent" : "DIFFERENT");
+  }
+  return out;
+}
+
+}  // namespace soidom

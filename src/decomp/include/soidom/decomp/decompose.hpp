@@ -1,0 +1,42 @@
+/// \file decompose.hpp
+/// Technology decomposition: flat BLIF models (arbitrary-fanin SOP nodes)
+/// into networks of 2-input AND / OR gates and inverters — the "initial
+/// decomposed network consisting of 2-input AND-OR gates and inverters"
+/// the paper's mapping algorithms start from (section IV).
+#pragma once
+
+#include "soidom/blif/blif.hpp"
+#include "soidom/network/builder.hpp"
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// How multi-input AND/OR operations are broken into 2-input nodes.
+enum class TreeShape {
+  kBalanced,  ///< logarithmic-depth trees (default; best for depth mapping)
+  kChain,     ///< left-leaning linear chains (stresses tall series stacks)
+};
+
+struct DecomposeOptions {
+  TreeShape shape = TreeShape::kBalanced;
+  /// Run two-level minimization (twolevel/minimize.hpp) on every cover
+  /// before decomposing it — the SIS-style preprocessing the paper's
+  /// benchmark inputs received.
+  bool minimize_covers = false;
+  /// Run algebraic common-cube extraction (twolevel/extract.hpp) across
+  /// the model before decomposition — the multi-level half of the same
+  /// preprocessing; increases sharing in the mapped netlist.
+  bool extract_cubes = false;
+};
+
+/// Decompose a full BLIF model.  Tables may appear in any order; they are
+/// processed in dependency order.  Combinational cycles raise an error.
+Network decompose(const BlifModel& model, const DecomposeOptions& options = {});
+
+/// Decompose one SOP cover inside an ongoing build; `fanins` are the nodes
+/// carrying the cover's inputs.  Returns the node computing the cover.
+NodeId decompose_cover(NetworkBuilder& builder, const SopCover& cover,
+                       const std::vector<NodeId>& fanins,
+                       const DecomposeOptions& options = {});
+
+}  // namespace soidom

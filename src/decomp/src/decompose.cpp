@@ -1,0 +1,126 @@
+#include "soidom/decomp/decompose.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/base/strings.hpp"
+#include "soidom/twolevel/extract.hpp"
+#include "soidom/twolevel/minimize.hpp"
+
+namespace soidom {
+namespace {
+
+/// Reduce `terms` with `op` (add_and / add_or) in the requested shape.
+NodeId reduce(NetworkBuilder& builder, std::vector<NodeId> terms,
+              NodeId (NetworkBuilder::*op)(NodeId, NodeId), NodeId empty_value,
+              TreeShape shape) {
+  if (terms.empty()) return empty_value;
+  if (shape == TreeShape::kChain) {
+    NodeId acc = terms.front();
+    for (std::size_t i = 1; i < terms.size(); ++i) {
+      acc = (builder.*op)(acc, terms[i]);
+    }
+    return acc;
+  }
+  // Balanced: repeatedly pair adjacent terms.
+  while (terms.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back((builder.*op)(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+}  // namespace
+
+NodeId decompose_cover(NetworkBuilder& builder, const SopCover& cover,
+                       const std::vector<NodeId>& fanins,
+                       const DecomposeOptions& options) {
+  SOIDOM_REQUIRE(fanins.size() == cover.num_inputs,
+                 "decompose_cover: fanin count does not match cover");
+  bool constant = false;
+  if (cover.is_constant(constant)) {
+    return constant ? builder.const1() : builder.const0();
+  }
+
+  std::vector<NodeId> products;
+  products.reserve(cover.cubes.size());
+  for (const Cube& cube : cover.cubes) {
+    std::vector<NodeId> literals;
+    for (std::size_t i = 0; i < cube.lits.size(); ++i) {
+      switch (cube.lits[i]) {
+        case CubeLit::kPos: literals.push_back(fanins[i]); break;
+        case CubeLit::kNeg: literals.push_back(builder.add_inv(fanins[i])); break;
+        case CubeLit::kDontCare: break;
+      }
+    }
+    products.push_back(reduce(builder, std::move(literals),
+                              &NetworkBuilder::add_and, builder.const1(),
+                              options.shape));
+  }
+  NodeId sum = reduce(builder, std::move(products), &NetworkBuilder::add_or,
+                      builder.const0(), options.shape);
+  if (!cover.on_set) sum = builder.add_inv(sum);
+  return sum;
+}
+
+Network decompose(const BlifModel& model, const DecomposeOptions& options) {
+  if (options.extract_cubes) {
+    BlifModel extracted = model;
+    extract_common_cubes(extracted);
+    DecomposeOptions rest = options;
+    rest.extract_cubes = false;
+    return decompose(extracted, rest);
+  }
+  NetworkBuilder builder;
+  std::unordered_map<std::string, NodeId> signal;
+
+  for (const std::string& in : model.inputs) {
+    SOIDOM_REQUIRE(!signal.contains(in),
+                   format("duplicate input '%s'", in.c_str()));
+    signal.emplace(in, builder.add_pi(in));
+  }
+
+  // Process tables in dependency order (DFS with cycle detection).
+  enum class Mark : std::uint8_t { kUnseen, kActive, kDone };
+  std::vector<Mark> mark(model.tables.size(), Mark::kUnseen);
+
+  std::function<NodeId(std::string_view)> require_signal =
+      [&](std::string_view name) -> NodeId {
+    if (const auto it = signal.find(std::string(name)); it != signal.end()) {
+      return it->second;
+    }
+    const int t = model.table_defining(name);
+    SOIDOM_REQUIRE(t >= 0,
+                   format("undefined signal '%s'", std::string(name).c_str()));
+    const auto ti = static_cast<std::size_t>(t);
+    SOIDOM_REQUIRE(mark[ti] != Mark::kActive,
+                   format("combinational cycle through '%s'",
+                          std::string(name).c_str()));
+    mark[ti] = Mark::kActive;
+    const BlifTable& table = model.tables[ti];
+    std::vector<NodeId> fanins;
+    fanins.reserve(table.inputs.size());
+    for (const std::string& in : table.inputs) {
+      fanins.push_back(require_signal(in));
+    }
+    const SopCover cover =
+        options.minimize_covers ? minimize(table.cover) : table.cover;
+    const NodeId out = decompose_cover(builder, cover, fanins, options);
+    mark[ti] = Mark::kDone;
+    signal.emplace(table.output, out);
+    return out;
+  };
+
+  for (const std::string& out : model.outputs) {
+    builder.add_output(require_signal(out), out);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace soidom

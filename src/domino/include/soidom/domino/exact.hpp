@@ -1,0 +1,26 @@
+/// \file exact.hpp
+/// Exact (BDD-based) equivalence of a mapped domino netlist against its
+/// source network.
+#pragma once
+
+#include <optional>
+
+#include "soidom/bdd/bdd.hpp"
+#include "soidom/domino/netlist.hpp"
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// BDDs of every netlist output over the SOURCE primary inputs (literal
+/// phases and PO inversions applied).
+std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
+                                               const DominoNetlist& netlist,
+                                               unsigned num_source_pis);
+
+/// Exact equivalence of a mapped netlist against its source network.
+/// std::nullopt when the node limit was exceeded (fall back to sim).
+std::optional<bool> equivalent_exact(const DominoNetlist& netlist,
+                                     const Network& source,
+                                     std::size_t node_limit = 1u << 22);
+
+}  // namespace soidom

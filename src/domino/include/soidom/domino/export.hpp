@@ -1,0 +1,45 @@
+/// \file export.hpp
+/// Exporters for mapped domino netlists:
+///  * SPICE: a flat transistor-level .sp deck (one subcircuit per domino
+///    gate: precharge pMOS, keeper, output inverter, optional n-clock foot,
+///    the series/parallel nMOS pulldown, and clock-driven pMOS discharge
+///    transistors on every protected junction) — the handoff format a
+///    downstream sizing / characterization flow would consume (the paper's
+///    "followup technology-specific optimization step", section VII);
+///  * structural Verilog: a gate-accurate behavioural view for logic-level
+///    integration (each domino gate as an AND/OR expression assign).
+#pragma once
+
+#include <string>
+
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+/// SPICE device model names used by the exporter.
+struct SpiceModels {
+  std::string nmos = "nch_soi";
+  std::string pmos = "pch_soi";
+};
+
+/// Optional per-device widths (in units of `unit_width`), as produced by
+/// sizing/sizing.hpp.  `pulldown_widths[g]` follows gate g's
+/// Pdn::leaf_signals() order; `inverter_widths[g]` drives the output
+/// inverter (pMOS gets 2x).  Empty vectors fall back to default widths.
+struct SpiceSizing {
+  std::vector<std::vector<double>> pulldown_widths;
+  std::vector<double> inverter_widths;
+  double unit_width_um = 0.5;
+};
+
+/// Full .sp deck with one SUBCKT per gate and a top-level instantiation.
+std::string export_spice(const DominoNetlist& netlist,
+                         const std::string& design_name,
+                         const SpiceModels& models = {},
+                         const SpiceSizing* sizing = nullptr);
+
+/// Structural Verilog module (combinational view of the evaluate phase).
+std::string export_verilog(const DominoNetlist& netlist,
+                           const std::string& module_name);
+
+}  // namespace soidom

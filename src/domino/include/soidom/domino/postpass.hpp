@@ -1,0 +1,38 @@
+/// \file postpass.hpp
+/// Netlist-level post-processing passes.
+///
+///  * insert_discharges — the bulk-CMOS flow's patch-up step: run the PBE
+///    analyzer on every gate and attach the required discharge pMOS
+///    transistors (paper: "p-discharge transistors are added in a
+///    post-processing step", section VI).
+///  * rearrange_stacks — the RS_Map variant: first reorder every series
+///    stack to push dischargeable structure toward ground, then insert the
+///    (now fewer) required discharge transistors (section VI-A).
+#pragma once
+
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+/// Whether a gate's pulldown bottom counts as grounded under `policy`.
+bool gate_bottom_grounded(const DominoGate& gate, GroundingPolicy policy);
+
+/// Replaces every gate's discharge set with the analyzer's requirement.
+/// Returns the total number of discharge transistors inserted.  The
+/// default policy mirrors MapperOptions::grounding (see options.hpp for
+/// why kAllGrounded is the paper-faithful choice).
+int insert_discharges(DominoNetlist& netlist,
+                      GroundingPolicy policy = GroundingPolicy::kAllGrounded,
+                      PendingModel model = PendingModel::kCoherent);
+
+/// Reorders series stacks in every gate, then re-inserts discharges.
+/// Returns the number of discharge transistors after the pass.
+/// `recursive_reorder` false (default) touches only each gate's top-level
+/// stack — our reading of the paper's RS_Map; true is the strongest
+/// reordering this IR admits (ablation).
+int rearrange_stacks(DominoNetlist& netlist,
+                     GroundingPolicy policy = GroundingPolicy::kAllGrounded,
+                     PendingModel model = PendingModel::kCoherent,
+                     bool recursive_reorder = false);
+
+}  // namespace soidom

@@ -1,0 +1,49 @@
+/// \file seqaware.hpp
+/// Sequence-aware discharge pruning — the paper's section VII future-work
+/// item, implemented: "breakdown will only occur for a particular sequence
+/// of input logic values.  We have not taken this into account in our
+/// algorithm, and incorporating this information could lead to better
+/// solutions."
+///
+/// A discharge point J (a junction inside a gate's pulldown) can excite
+/// the PBE only if BOTH of these gate-input conditions are satisfiable:
+///
+///   CHARGE(J): some input assignment conducts a path from the (high)
+///              dynamic node down to J — otherwise J can never float high;
+///   FIRE(J):   some assignment conducts a path from J to the pulldown
+///              bottom while NO path from the dynamic node to J conducts —
+///              otherwise J is only ever pulled low in evaluations where
+///              the gate legitimately discharges anyway.
+///
+/// Both conditions are evaluated exactly with BDDs over the gate's input
+/// signals.  Treating the gate inputs as independent variables
+/// over-approximates reachability (correlated inputs can only remove
+/// assignments), so pruning only points with an UNSATISFIABLE condition is
+/// sound: every pruned point is unexcitable no matter what drives the
+/// gate.
+#pragma once
+
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+struct SeqAwareStats {
+  int points_before = 0;
+  int points_pruned = 0;
+  int points_after() const { return points_before - points_pruned; }
+};
+
+/// Removes discharge transistors whose PBE-exciting condition is
+/// unsatisfiable.  Call after discharges are in place (any flow variant).
+SeqAwareStats prune_unexcitable_discharges(DominoNetlist& netlist);
+
+/// Point query: can `point` inside the given pulldown ever be excited?
+/// `footed` is the pulldown's own foot flag (for dual gates pass the
+/// matching pdn/footed pair).  Used by verify_structure to accept
+/// netlists whose unexcitable points were pruned.  (Builds the pulldown's
+/// conditions per call; fine for occasional verification, use
+/// prune_unexcitable_discharges for bulk work.)
+bool discharge_point_excitable(const DominoNetlist& netlist, const Pdn& pdn,
+                               bool footed, const DischargePoint& point);
+
+}  // namespace soidom

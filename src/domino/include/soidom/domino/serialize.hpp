@@ -1,0 +1,38 @@
+/// \file serialize.hpp
+/// A plain-text netlist interchange format (".dnl") so mapped domino
+/// netlists can be saved by one tool invocation and analyzed by another
+/// (timing, power, simulation, export) without re-running the mapper.
+///
+/// Format (line oriented, '#' comments):
+///
+///   dnl 1
+///   input <name> <source_pi> <0|1 negated>
+///   gate <footed 0|1> <pdn expression>
+///   disch <gate> bottom
+///   disch <gate> <series_node> <pos>
+///   output <name> <signal|const0|const1> <0|1 inverted>
+///
+/// The pdn expression uses the same syntax Pdn::to_string prints:
+/// 's<signal>' leaves, '.' series, '+' parallel, parentheses — so dumps
+/// are directly reusable.  Signals use the netlist encoding (inputs then
+/// gates, in file order).
+#pragma once
+
+#include <string>
+
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+/// Serialize to .dnl text.
+std::string write_dnl(const DominoNetlist& netlist);
+
+/// Parse .dnl text; throws soidom::Error with a line number on malformed
+/// input (including non-topological gate references).
+DominoNetlist parse_dnl(std::string_view text);
+
+/// File variants.
+void write_dnl_file(const DominoNetlist& netlist, const std::string& path);
+DominoNetlist parse_dnl_file(const std::string& path);
+
+}  // namespace soidom

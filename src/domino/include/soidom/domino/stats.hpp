@@ -1,0 +1,22 @@
+/// \file stats.hpp
+/// The cost columns reported in the paper's tables.
+#pragma once
+
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+/// Transistor and depth statistics of a mapped netlist, matching the
+/// paper's table columns.
+struct DominoStats {
+  int t_logic = 0;   ///< domino transistors: pulldowns + per-gate overhead
+  int t_disch = 0;   ///< pMOS discharge transistors
+  int t_total = 0;   ///< t_logic + t_disch
+  int num_gates = 0; ///< #G
+  int t_clock = 0;   ///< clock-connected: precharge + feet + discharges
+  int levels = 0;    ///< L: max domino-gate depth input->output
+};
+
+DominoStats compute_stats(const DominoNetlist& netlist);
+
+}  // namespace soidom

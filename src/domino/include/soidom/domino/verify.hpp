@@ -1,0 +1,37 @@
+/// \file verify.hpp
+/// Structural and functional verification of mapped domino netlists.
+#pragma once
+
+#include <string>
+
+#include "soidom/domino/netlist.hpp"
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// Outcome of a verification run; `ok()` is true when `problems` is empty.
+struct VerifyReport {
+  std::vector<std::string> problems;
+  bool ok() const { return problems.empty(); }
+  std::string to_string() const;
+};
+
+/// Structural checks:
+///  * leaf signals reference only inputs or earlier gates (topological);
+///  * footedness matches pulldown contents (footed iff some leaf is an
+///    input literal);
+///  * every PBE-required discharge point carries a discharge transistor
+///    (with `allow_unexcitable_unprotected`, an unprotected point is also
+///    accepted when sequence-aware analysis proves it unexcitable);
+///  * discharge points refer to existing junctions.
+VerifyReport verify_structure(const DominoNetlist& netlist,
+                              GroundingPolicy policy,
+                              PendingModel model = PendingModel::kCoherent,
+                              bool allow_unexcitable_unprotected = false);
+
+/// Random-simulation equivalence against the ORIGINAL (pre-unate) network.
+/// `rounds` words of 64 patterns.
+VerifyReport verify_function(const DominoNetlist& netlist,
+                             const Network& source, int rounds, Rng& rng);
+
+}  // namespace soidom

@@ -1,0 +1,86 @@
+#include "soidom/domino/exact.hpp"
+
+#include "soidom/base/strings.hpp"
+#include "soidom/bdd/equivalence.hpp"
+
+namespace soidom {
+namespace {
+
+BddManager::Ref pdn_bdd(BddManager& manager, const Pdn& pdn, PdnIndex i,
+                        const std::vector<BddManager::Ref>& signal) {
+  const PdnNode& n = pdn.node(i);
+  switch (n.kind) {
+    case PdnKind::kLeaf:
+      return signal[n.signal];
+    case PdnKind::kSeries: {
+      BddManager::Ref acc = BddManager::kTrue;
+      for (const PdnIndex c : n.children) {
+        acc = manager.apply_and(acc, pdn_bdd(manager, pdn, c, signal));
+      }
+      return acc;
+    }
+    case PdnKind::kParallel: {
+      BddManager::Ref acc = BddManager::kFalse;
+      for (const PdnIndex c : n.children) {
+        acc = manager.apply_or(acc, pdn_bdd(manager, pdn, c, signal));
+      }
+      return acc;
+    }
+  }
+  return BddManager::kFalse;
+}
+
+}  // namespace
+
+std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
+                                               const DominoNetlist& netlist,
+                                               unsigned num_source_pis) {
+  std::vector<BddManager::Ref> value(
+      netlist.num_inputs() + netlist.gates().size(), BddManager::kFalse);
+  for (std::size_t k = 0; k < netlist.num_inputs(); ++k) {
+    const InputLiteral& in = netlist.inputs()[k];
+    SOIDOM_REQUIRE(in.source_pi >= 0 &&
+                       static_cast<unsigned>(in.source_pi) < num_source_pis,
+                   "netlist literal references an out-of-range source PI");
+    const auto v = static_cast<unsigned>(in.source_pi);
+    value[k] = in.negated ? manager.nvar(v) : manager.var(v);
+  }
+  for (std::size_t g = 0; g < netlist.gates().size(); ++g) {
+    const DominoGate& gate = netlist.gates()[g];
+    auto v = pdn_bdd(manager, gate.pdn, gate.pdn.root(), value);
+    if (gate.dual()) {
+      v = manager.apply_or(
+          v, pdn_bdd(manager, gate.pdn2, gate.pdn2.root(), value));
+    }
+    value[netlist.num_inputs() + g] = v;
+  }
+  std::vector<BddManager::Ref> out;
+  out.reserve(netlist.outputs().size());
+  for (const DominoOutput& o : netlist.outputs()) {
+    BddManager::Ref r;
+    if (o.constant >= 0) {
+      r = o.constant ? BddManager::kTrue : BddManager::kFalse;
+    } else {
+      r = value[o.signal];
+    }
+    out.push_back(o.inverted ? manager.negate(r) : r);
+  }
+  return out;
+}
+
+std::optional<bool> equivalent_exact(const DominoNetlist& netlist,
+                                     const Network& source,
+                                     std::size_t node_limit) {
+  SOIDOM_REQUIRE(netlist.outputs().size() == source.outputs().size(),
+                 "equivalent_exact: output count mismatch");
+  try {
+    BddManager manager(static_cast<unsigned>(source.pis().size()), node_limit);
+    return build_output_bdds(manager, source) ==
+           build_output_bdds(manager, netlist,
+                             static_cast<unsigned>(source.pis().size()));
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace soidom

@@ -1,0 +1,49 @@
+#include "soidom/domino/postpass.hpp"
+
+#include "soidom/pdn/reorder.hpp"
+
+namespace soidom {
+
+bool gate_bottom_grounded(const DominoGate& gate, GroundingPolicy policy) {
+  switch (policy) {
+    case GroundingPolicy::kAllGrounded: return true;
+    case GroundingPolicy::kNoneGrounded: return false;
+    case GroundingPolicy::kFootlessGrounded: return !gate.footed;
+  }
+  return false;
+}
+
+int insert_discharges(DominoNetlist& netlist, GroundingPolicy policy,
+                      PendingModel model) {
+  int total = 0;
+  for (DominoGate& gate : netlist.gates()) {
+    const bool grounded = gate_bottom_grounded(gate, policy);
+    gate.discharges = analyze_pbe(gate.pdn, grounded, model).required;
+    total += static_cast<int>(gate.discharges.size());
+    if (gate.dual()) {
+      // Each pulldown of a complex gate has its own bottom terminal; the
+      // second is grounded under the same policy (per-pdn footedness).
+      const bool grounded2 = policy == GroundingPolicy::kAllGrounded ||
+                             (policy == GroundingPolicy::kFootlessGrounded &&
+                              !gate.footed2);
+      gate.discharges2 = analyze_pbe(gate.pdn2, grounded2, model).required;
+      total += static_cast<int>(gate.discharges2.size());
+    } else {
+      gate.discharges2.clear();
+    }
+  }
+  return total;
+}
+
+int rearrange_stacks(DominoNetlist& netlist, GroundingPolicy policy,
+                     PendingModel model, bool recursive_reorder) {
+  for (DominoGate& gate : netlist.gates()) {
+    reorder_series_stacks(gate.pdn, model, recursive_reorder);
+    if (gate.dual()) {
+      reorder_series_stacks(gate.pdn2, model, recursive_reorder);
+    }
+  }
+  return insert_discharges(netlist, policy, model);
+}
+
+}  // namespace soidom

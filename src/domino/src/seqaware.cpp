@@ -1,0 +1,173 @@
+#include "soidom/domino/seqaware.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include <memory>
+
+#include "soidom/bdd/bdd.hpp"
+
+namespace soidom {
+namespace {
+
+/// Per-gate condition computer: BDDs over the gate's distinct input
+/// signals for path-conduction predicates.
+class GateConditions {
+ public:
+  GateConditions(const DominoNetlist& netlist, const Pdn& pdn, bool footed)
+      : netlist_(netlist), pdn_(pdn), footed_(footed) {
+    for (const std::uint32_t sig : pdn.leaf_signals()) {
+      if (!var_.contains(sig)) {
+        const auto v = static_cast<unsigned>(var_.size());
+        var_.emplace(sig, v);
+      }
+    }
+    manager_ = std::make_unique<BddManager>(
+        static_cast<unsigned>(var_.size()), /*node_limit=*/1u << 20);
+    conduct_.assign(pdn.pool_size(), BddManager::kFalse);
+    conduct_lit_.assign(pdn.pool_size(), BddManager::kFalse);
+    ctx_.assign(pdn.pool_size(), BddManager::kFalse);
+    ext_.assign(pdn.pool_size(), BddManager::kFalse);
+    build_conduct(pdn.root());
+    ctx_[pdn.root()] = BddManager::kTrue;
+    ext_[pdn.root()] = BddManager::kTrue;
+    build_context(pdn.root());
+  }
+
+  /// Can the PBE at `point` ever be excited?  (See seqaware.hpp.)
+  bool excitable(const DischargePoint& point) const {
+    if (point.at_bottom()) {
+      // The pulldown bottom can only float high during precharge of a
+      // footed gate, charged through primary-input literals (outputs of
+      // other domino gates are low in precharge).
+      return footed_ && conduct_lit_[pdn_.root()] != BddManager::kFalse;
+    }
+    const PdnNode& s = pdn_.node(point.series_node);
+    SOIDOM_ASSERT(s.kind == PdnKind::kSeries &&
+                  point.pos + 1 < s.children.size());
+    auto conj = [&](std::size_t from, std::size_t to) {
+      auto acc = BddManager::kTrue;
+      for (std::size_t k = from; k < to; ++k) {
+        acc = manager_->apply_and(acc, conduct_[s.children[k]]);
+      }
+      return acc;
+    };
+    // CHARGE: a conducting path from the dynamic node down to the junction.
+    const auto charge = manager_->apply_and(ctx_[point.series_node],
+                                            conj(0, point.pos + 1));
+    if (charge == BddManager::kFalse) return false;
+    // FIRE: the junction is pulled to the bottom while no path from the
+    // dynamic node reaches it (otherwise the evaluation is legitimate).
+    const auto below = manager_->apply_and(
+        conj(point.pos + 1, s.children.size()), ext_[point.series_node]);
+    const auto fire = manager_->apply_and(below, manager_->negate(charge));
+    return fire != BddManager::kFalse;
+  }
+
+ private:
+  void build_conduct(PdnIndex i) {
+    const PdnNode& n = pdn_.node(i);
+    switch (n.kind) {
+      case PdnKind::kLeaf: {
+        const auto v = var_.at(n.signal);
+        conduct_[i] = manager_->var(v);
+        conduct_lit_[i] = netlist_.is_input_signal(n.signal)
+                              ? manager_->var(v)
+                              : BddManager::kFalse;
+        break;
+      }
+      case PdnKind::kSeries: {
+        auto all = BddManager::kTrue;
+        auto all_lit = BddManager::kTrue;
+        for (const PdnIndex c : n.children) {
+          build_conduct(c);
+          all = manager_->apply_and(all, conduct_[c]);
+          all_lit = manager_->apply_and(all_lit, conduct_lit_[c]);
+        }
+        conduct_[i] = all;
+        conduct_lit_[i] = all_lit;
+        break;
+      }
+      case PdnKind::kParallel: {
+        auto any = BddManager::kFalse;
+        auto any_lit = BddManager::kFalse;
+        for (const PdnIndex c : n.children) {
+          build_conduct(c);
+          any = manager_->apply_or(any, conduct_[c]);
+          any_lit = manager_->apply_or(any_lit, conduct_lit_[c]);
+        }
+        conduct_[i] = any;
+        conduct_lit_[i] = any_lit;
+        break;
+      }
+    }
+  }
+
+  /// Computes ctx (conduction from the dynamic node to each node's top)
+  /// and ext (conduction from each node's bottom to the pulldown bottom).
+  void build_context(PdnIndex i) {
+    const PdnNode& n = pdn_.node(i);
+    if (n.kind == PdnKind::kLeaf) return;
+    if (n.kind == PdnKind::kParallel) {
+      for (const PdnIndex c : n.children) {
+        ctx_[c] = ctx_[i];
+        ext_[c] = ext_[i];
+        build_context(c);
+      }
+      return;
+    }
+    // Series: child k's top is reached through children [0, k); its bottom
+    // exits through children (k, end) and then the series node's own exit.
+    auto prefix = ctx_[i];
+    for (std::size_t k = 0; k < n.children.size(); ++k) {
+      ctx_[n.children[k]] = prefix;
+      prefix = manager_->apply_and(prefix, conduct_[n.children[k]]);
+    }
+    auto suffix = ext_[i];
+    for (std::size_t k = n.children.size(); k-- > 0;) {
+      ext_[n.children[k]] = suffix;
+      suffix = manager_->apply_and(suffix, conduct_[n.children[k]]);
+    }
+    for (const PdnIndex c : n.children) build_context(c);
+  }
+
+  const DominoNetlist& netlist_;
+  const Pdn& pdn_;
+  bool footed_;
+  std::unordered_map<std::uint32_t, unsigned> var_;
+  std::unique_ptr<BddManager> manager_;
+  std::vector<BddManager::Ref> conduct_;      ///< subtree conducts
+  std::vector<BddManager::Ref> conduct_lit_;  ///< ... via literal leaves only
+  std::vector<BddManager::Ref> ctx_;
+  std::vector<BddManager::Ref> ext_;
+};
+
+}  // namespace
+
+bool discharge_point_excitable(const DominoNetlist& netlist, const Pdn& pdn,
+                               bool footed, const DischargePoint& point) {
+  return GateConditions(netlist, pdn, footed).excitable(point);
+}
+
+SeqAwareStats prune_unexcitable_discharges(DominoNetlist& netlist) {
+  SeqAwareStats stats;
+  auto prune_pdn = [&](const Pdn& pdn, bool footed,
+                       std::vector<DischargePoint>& discharges) {
+    stats.points_before += static_cast<int>(discharges.size());
+    if (discharges.empty()) return;
+    const GateConditions conditions(netlist, pdn, footed);
+    const auto removed =
+        std::erase_if(discharges, [&](const DischargePoint& point) {
+          return !conditions.excitable(point);
+        });
+    stats.points_pruned += static_cast<int>(removed);
+  };
+  for (DominoGate& gate : netlist.gates()) {
+    prune_pdn(gate.pdn, gate.footed, gate.discharges);
+    if (gate.dual()) prune_pdn(gate.pdn2, gate.footed2, gate.discharges2);
+  }
+  return stats;
+}
+
+}  // namespace soidom

@@ -1,0 +1,306 @@
+#include "soidom/domino/serialize.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+namespace {
+
+/// Canonical junction enumeration: in-order tree walk, one entry per
+/// series junction.  Stable across serialization because it depends only
+/// on the tree structure, not on node-pool indices.
+void enumerate_junctions(const Pdn& pdn, PdnIndex i,
+                         std::vector<DischargePoint>& out) {
+  const PdnNode& n = pdn.node(i);
+  if (n.kind == PdnKind::kLeaf) return;
+  if (n.kind == PdnKind::kSeries) {
+    for (std::size_t k = 0; k + 1 < n.children.size(); ++k) {
+      out.push_back(DischargePoint{i, static_cast<std::uint32_t>(k)});
+    }
+  }
+  for (const PdnIndex c : n.children) enumerate_junctions(pdn, c, out);
+}
+
+std::vector<DischargePoint> enumerate_junctions(const Pdn& pdn) {
+  std::vector<DischargePoint> out;
+  if (!pdn.empty()) enumerate_junctions(pdn, pdn.root(), out);
+  return out;
+}
+
+}  // namespace
+
+std::string write_dnl(const DominoNetlist& netlist) {
+  std::ostringstream os;
+  os << "dnl 1\n";
+  os << "# " << netlist.num_inputs() << " inputs, " << netlist.gates().size()
+     << " gates, " << netlist.outputs().size() << " outputs\n";
+  for (const InputLiteral& in : netlist.inputs()) {
+    os << "input " << in.name << ' ' << in.source_pi << ' '
+       << (in.negated ? 1 : 0) << '\n';
+  }
+  for (std::size_t g = 0; g < netlist.gates().size(); ++g) {
+    const DominoGate& gate = netlist.gates()[g];
+    if (gate.dual()) {
+      os << "gate2 " << (gate.footed ? 1 : 0) << ' '
+         << (gate.footed2 ? 1 : 0) << ' ' << gate.pdn.to_string() << " | "
+         << gate.pdn2.to_string() << '\n';
+    } else {
+      os << "gate " << (gate.footed ? 1 : 0) << ' ' << gate.pdn.to_string()
+         << '\n';
+    }
+    auto emit_disch = [&](const char* head, const Pdn& pdn,
+                          const std::vector<DischargePoint>& discharges) {
+      const auto junctions = enumerate_junctions(pdn);
+      for (const DischargePoint& p : discharges) {
+        if (p.at_bottom()) {
+          os << head << ' ' << g << " bottom\n";
+          continue;
+        }
+        const auto it = std::find(junctions.begin(), junctions.end(), p);
+        SOIDOM_ASSERT_MSG(it != junctions.end(),
+                          "discharge point is not a junction of its PDN");
+        os << head << ' ' << g << " j" << (it - junctions.begin()) << '\n';
+      }
+    };
+    emit_disch("disch", gate.pdn, gate.discharges);
+    if (gate.dual()) emit_disch("disch2", gate.pdn2, gate.discharges2);
+  }
+  for (const DominoOutput& o : netlist.outputs()) {
+    os << "output " << o.name << ' ';
+    if (o.constant >= 0) {
+      os << (o.constant ? "const1" : "const0");
+    } else {
+      os << o.signal;
+    }
+    os << ' ' << (o.inverted ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw Error(format("DNL parse error at line %d: %s", line, what.c_str()));
+}
+
+/// Recursive-descent parser for the Pdn::to_string syntax.
+class PdnExprParser {
+ public:
+  PdnExprParser(std::string_view text, int line, std::uint32_t max_signal)
+      : text_(text), line_(line), max_signal_(max_signal) {}
+
+  PdnIndex parse(Pdn& pdn) {
+    const PdnIndex root = parse_group(pdn);
+    skip_ws();
+    if (pos_ != text_.size()) fail(line_, "trailing characters in pdn");
+    return root;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  PdnIndex parse_group(Pdn& pdn) {
+    skip_ws();
+    if (peek() == '(') {
+      ++pos_;
+      // A parenthesized list of terms joined uniformly by '.' or '+'.
+      std::vector<PdnIndex> terms{parse_group(pdn)};
+      char op = '\0';
+      skip_ws();
+      while (peek() == '.' || peek() == '+') {
+        const char c = text_[pos_++];
+        if (op == '\0') {
+          op = c;
+        } else if (op != c) {
+          fail(line_, "mixed '.' and '+' inside one group");
+        }
+        terms.push_back(parse_group(pdn));
+        skip_ws();
+      }
+      if (peek() != ')') fail(line_, "expected ')'");
+      ++pos_;
+      if (terms.size() == 1) return terms.front();
+      return op == '.' ? pdn.add_series(std::move(terms))
+                       : pdn.add_parallel(std::move(terms));
+    }
+    if (peek() == 's') {
+      ++pos_;
+      std::uint64_t value = 0;
+      bool any = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        value = value * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+        ++pos_;
+        any = true;
+      }
+      if (!any) fail(line_, "expected signal number after 's'");
+      if (value >= max_signal_) {
+        fail(line_, format("signal s%llu out of range (not topological?)",
+                           static_cast<unsigned long long>(value)));
+      }
+      return pdn.add_leaf(static_cast<std::uint32_t>(value));
+    }
+    fail(line_, format("unexpected character '%c' in pdn", peek()));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+  std::uint32_t max_signal_;
+};
+
+}  // namespace
+
+DominoNetlist parse_dnl(std::string_view text) {
+  DominoNetlist netlist;
+  bool saw_header = false;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto tokens = split(line);
+    if (tokens.empty()) continue;
+    const std::string_view head = tokens[0];
+
+    if (head == "dnl") {
+      if (tokens.size() != 2 || tokens[1] != "1") {
+        fail(line_number, "unsupported dnl version");
+      }
+      saw_header = true;
+    } else if (!saw_header) {
+      fail(line_number, "missing 'dnl 1' header");
+    } else if (head == "input") {
+      if (tokens.size() != 4) fail(line_number, "malformed input line");
+      if (!netlist.gates().empty()) {
+        fail(line_number, "inputs must precede gates");
+      }
+      InputLiteral in;
+      in.name = std::string(tokens[1]);
+      in.source_pi = std::atoi(std::string(tokens[2]).c_str());
+      in.negated = tokens[3] == "1";
+      if (in.source_pi < 0) fail(line_number, "invalid source pi");
+      netlist.add_input(std::move(in));
+    } else if (head == "gate") {
+      if (tokens.size() < 3) fail(line_number, "malformed gate line");
+      DominoGate gate;
+      gate.footed = tokens[1] == "1";
+      // The pdn expression is the remainder of the line after the flag
+      // (tokens are views into `line`, so pointer arithmetic is exact).
+      const auto expr_at =
+          static_cast<std::size_t>(tokens[2].data() - line.data());
+      const std::string_view expr = line.substr(expr_at);
+      const auto max_signal = static_cast<std::uint32_t>(
+          netlist.num_inputs() + netlist.gates().size());
+      PdnExprParser parser(expr, line_number, max_signal);
+      gate.pdn.set_root(parser.parse(gate.pdn));
+      netlist.add_gate(std::move(gate));
+    } else if (head == "gate2") {
+      if (tokens.size() < 4) fail(line_number, "malformed gate2 line");
+      DominoGate gate;
+      gate.footed = tokens[1] == "1";
+      gate.footed2 = tokens[2] == "1";
+      const auto expr_at =
+          static_cast<std::size_t>(tokens[3].data() - line.data());
+      const std::string_view rest = line.substr(expr_at);
+      const auto bar = rest.find('|');
+      if (bar == std::string_view::npos) {
+        fail(line_number, "gate2 needs '<pdn> | <pdn>'");
+      }
+      const auto max_signal = static_cast<std::uint32_t>(
+          netlist.num_inputs() + netlist.gates().size());
+      {
+        PdnExprParser parser(trim(rest.substr(0, bar)), line_number,
+                             max_signal);
+        gate.pdn.set_root(parser.parse(gate.pdn));
+      }
+      {
+        PdnExprParser parser(trim(rest.substr(bar + 1)), line_number,
+                             max_signal);
+        gate.pdn2.set_root(parser.parse(gate.pdn2));
+      }
+      netlist.add_gate(std::move(gate));
+    } else if (head == "disch" || head == "disch2") {
+      const bool second = head == "disch2";
+      if (tokens.size() < 3) fail(line_number, "malformed disch line");
+      const int g = std::atoi(std::string(tokens[1]).c_str());
+      if (g < 0 || static_cast<std::size_t>(g) >= netlist.gates().size()) {
+        fail(line_number, "disch references unknown gate");
+      }
+      DominoGate& gate = netlist.gates()[static_cast<std::size_t>(g)];
+      if (second && !gate.dual()) {
+        fail(line_number, "disch2 on a classic gate");
+      }
+      DischargePoint p;
+      if (tokens[2] == "bottom") {
+        // default-constructed point is the bottom marker
+      } else {
+        if (tokens.size() != 3 || tokens[2].size() < 2 ||
+            tokens[2][0] != 'j') {
+          fail(line_number, "malformed disch line (expected 'bottom' or jN)");
+        }
+        const int idx =
+            std::atoi(std::string(tokens[2].substr(1)).c_str());
+        const auto junctions =
+            enumerate_junctions(second ? gate.pdn2 : gate.pdn);
+        if (idx < 0 || static_cast<std::size_t>(idx) >= junctions.size()) {
+          fail(line_number, "disch references an invalid junction");
+        }
+        p = junctions[static_cast<std::size_t>(idx)];
+      }
+      (second ? gate.discharges2 : gate.discharges).push_back(p);
+    } else if (head == "output") {
+      if (tokens.size() != 4) fail(line_number, "malformed output line");
+      DominoOutput out;
+      out.name = std::string(tokens[1]);
+      if (tokens[2] == "const0") {
+        out.constant = 0;
+      } else if (tokens[2] == "const1") {
+        out.constant = 1;
+      } else {
+        out.signal = static_cast<std::uint32_t>(
+            std::atoi(std::string(tokens[2]).c_str()));
+        if (out.signal >= netlist.num_inputs() + netlist.gates().size()) {
+          fail(line_number, "output references unknown signal");
+        }
+      }
+      out.inverted = tokens[3] == "1";
+      netlist.add_output(std::move(out));
+    } else {
+      fail(line_number, format("unknown directive '%s'",
+                               std::string(head).c_str()));
+    }
+  }
+  if (!saw_header) throw Error("DNL parse error: empty input");
+  return netlist;
+}
+
+void write_dnl_file(const DominoNetlist& netlist, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error(format("cannot write '%s'", path.c_str()));
+  out << write_dnl(netlist);
+}
+
+DominoNetlist parse_dnl_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error(format("cannot open DNL file '%s'", path.c_str()));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_dnl(ss.str());
+}
+
+}  // namespace soidom

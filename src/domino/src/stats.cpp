@@ -1,0 +1,26 @@
+#include "soidom/domino/stats.hpp"
+
+#include <algorithm>
+
+namespace soidom {
+
+DominoStats compute_stats(const DominoNetlist& netlist) {
+  DominoStats s;
+  s.num_gates = static_cast<int>(netlist.gates().size());
+  for (const DominoGate& g : netlist.gates()) {
+    s.t_logic += g.logic_transistors();
+    s.t_disch += static_cast<int>(g.discharges.size());
+    s.t_clock += g.clock_transistors();
+  }
+  s.t_total = s.t_logic + s.t_disch;
+  const auto levels = netlist.gate_levels();
+  for (const DominoOutput& o : netlist.outputs()) {
+    if (o.constant < 0 && !netlist.is_input_signal(o.signal)) {
+      s.levels = std::max(s.levels,
+                          levels[netlist.gate_of_signal(o.signal)]);
+    }
+  }
+  return s;
+}
+
+}  // namespace soidom

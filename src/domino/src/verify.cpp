@@ -1,0 +1,138 @@
+#include "soidom/domino/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "soidom/base/strings.hpp"
+#include "soidom/domino/postpass.hpp"
+#include "soidom/domino/seqaware.hpp"
+#include "soidom/sim/sim.hpp"
+
+namespace soidom {
+
+std::string VerifyReport::to_string() const {
+  if (ok()) return "OK";
+  std::ostringstream os;
+  for (const std::string& p : problems) os << p << '\n';
+  return os.str();
+}
+
+VerifyReport verify_structure(const DominoNetlist& netlist,
+                              GroundingPolicy policy, PendingModel model,
+                              bool allow_unexcitable_unprotected) {
+  VerifyReport report;
+  for (std::size_t g = 0; g < netlist.gates().size(); ++g) {
+    const DominoGate& gate = netlist.gates()[g];
+    if (gate.pdn.empty()) {
+      report.problems.push_back(format("gate %zu: empty pulldown", g));
+      continue;
+    }
+
+    // Both pulldowns of a dual gate are checked with the same rules; the
+    // helper runs once for classic gates.
+    auto check_pdn = [&](const Pdn& pdn, bool footed_flag,
+                         const std::vector<DischargePoint>& discharges,
+                         bool grounded, const char* tag) {
+      bool has_input_leaf = false;
+      for (const std::uint32_t sig : pdn.leaf_signals()) {
+        if (netlist.is_input_signal(sig)) {
+          has_input_leaf = true;
+        } else if (netlist.gate_of_signal(sig) >= g) {
+          report.problems.push_back(
+              format("gate %zu%s: references gate %u (not earlier): netlist "
+                     "is not topologically ordered",
+                     g, tag, netlist.gate_of_signal(sig)));
+        }
+      }
+      if (footed_flag != has_input_leaf) {
+        report.problems.push_back(
+            format("gate %zu%s: footed=%d but has_input_leaf=%d", g, tag,
+                   static_cast<int>(footed_flag),
+                   static_cast<int>(has_input_leaf)));
+      }
+
+      // Discharge points must refer to real junctions of this PDN.
+      for (const DischargePoint& p : discharges) {
+        if (p.at_bottom()) continue;
+        if (p.series_node >= pdn.pool_size()) {
+          report.problems.push_back(
+              format("gate %zu%s: discharge at nonexistent node %u", g, tag,
+                     p.series_node));
+          continue;
+        }
+        const PdnNode& n = pdn.node(p.series_node);
+        const bool valid_junction =
+            n.kind == PdnKind::kSeries && p.pos + 1 < n.children.size();
+        if (!valid_junction) {
+          report.problems.push_back(format(
+              "gate %zu%s: discharge at invalid junction (s=%u,p=%u)", g, tag,
+              p.series_node, p.pos));
+        }
+      }
+
+      // PBE protection.
+      const PbeAnalysis analysis = analyze_pbe(pdn, grounded, model);
+      for (const DischargePoint& p : analysis.required) {
+        const bool protected_point =
+            std::find(discharges.begin(), discharges.end(), p) !=
+            discharges.end();
+        if (protected_point) continue;
+        if (allow_unexcitable_unprotected &&
+            !discharge_point_excitable(netlist, pdn, footed_flag, p)) {
+          continue;  // proven unexcitable: safe without a transistor
+        }
+        report.problems.push_back(format(
+            "gate %zu%s: PBE-required discharge point %s unprotected (pdn=%s)",
+            g, tag, to_string(p).c_str(), pdn.to_string().c_str()));
+      }
+    };
+    check_pdn(gate.pdn, gate.footed, gate.discharges,
+              gate_bottom_grounded(gate, policy), "");
+    if (gate.dual()) {
+      const bool grounded2 = policy == GroundingPolicy::kAllGrounded ||
+                             (policy == GroundingPolicy::kFootlessGrounded &&
+                              !gate.footed2);
+      check_pdn(gate.pdn2, gate.footed2, gate.discharges2, grounded2,
+                " (pdn2)");
+    } else if (!gate.discharges2.empty()) {
+      report.problems.push_back(
+          format("gate %zu: discharges2 set on a classic gate", g));
+    }
+  }
+
+  for (const DominoOutput& o : netlist.outputs()) {
+    if (o.constant < 0 &&
+        o.signal >= netlist.num_inputs() + netlist.gates().size()) {
+      report.problems.push_back(
+          format("output '%s': dangling signal %u", o.name.c_str(), o.signal));
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_function(const DominoNetlist& netlist,
+                             const Network& source, int rounds, Rng& rng) {
+  VerifyReport report;
+  if (netlist.outputs().size() != source.outputs().size()) {
+    report.problems.push_back(
+        format("output count mismatch: netlist %zu vs source %zu",
+               netlist.outputs().size(), source.outputs().size()));
+    return report;
+  }
+  for (int r = 0; r < rounds; ++r) {
+    const auto words = random_pi_words(source.pis().size(), rng);
+    const auto want = simulate_outputs(source, words);
+    const auto got = netlist.simulate(words);
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      if (want[j] != got[j]) {
+        report.problems.push_back(
+            format("functional mismatch on output %zu ('%s'), round %d", j,
+                   source.outputs()[j].name.c_str(), r));
+        return report;  // first mismatch is enough
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace soidom

@@ -1,0 +1,625 @@
+#include "soidom/mapper/mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/domino/postpass.hpp"
+
+namespace soidom {
+namespace {
+
+/// A DP candidate: one partial pulldown structure.  See mapper.hpp for the
+/// field semantics.  Candidates live in a per-run arena and reference their
+/// construction children by arena index, so realization can rebuild the
+/// exact series/parallel tree the DP priced.
+struct Cand {
+  enum class Op : std::uint8_t { kInputLeaf, kGateLeaf, kSeries, kParallel };
+
+  Op op = Op::kInputLeaf;
+  std::uint8_t w = 1;
+  std::uint8_t h = 1;
+  bool par_b = false;
+  bool has_pi = false;
+  std::int16_t level = 0;
+  std::uint16_t p_bot = 0;
+  std::uint16_t p_above = 0;
+  std::uint16_t disch = 0;  ///< discharge transistors committed in this PDN
+  std::int64_t committed = 0;
+  /// kInputLeaf: netlist input signal; kGateLeaf: unate node id;
+  /// kSeries: a = TOP child, b = BOTTOM child; kParallel: the two branches.
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+
+  int p_total() const { return p_bot + p_above; }
+};
+
+class MapperImpl {
+ public:
+  MapperImpl(const UnateResult& unate, const MapperOptions& opts)
+      : unate_(unate), net_(unate.net), opts_(opts) {
+    SOIDOM_REQUIRE(net_.is_unate(),
+                   "mapper input must be a unate (inverter-free) network");
+    SOIDOM_REQUIRE(opts_.max_height >= 2 && opts_.max_width >= 1,
+                   "infeasible pulldown shape limits (need H>=2, W>=1)");
+    SOIDOM_REQUIRE(opts_.max_height <= 64 && opts_.max_width <= 64,
+                   "pulldown shape limits above 64 are not supported");
+    SOIDOM_REQUIRE(opts_.clock_weight > 0.0 && opts_.clock_weight <= 1000.0,
+                   "clock_weight out of range");
+    clock_cost_ = static_cast<std::int64_t>(
+        std::llround(opts_.clock_weight * kCostUnitsPerTransistor));
+    soi_ = opts_.engine == MappingEngine::kSoiDominoMap;
+    disch_price_ = soi_ ? clock_cost_ : 0;
+  }
+
+  void run_dp() {
+    if (dp_done_) return;
+    dp_done_ = true;
+    fanout_ = net_.fanout_counts();
+    node_cands_.resize(net_.size());
+    gate_cand_.assign(net_.size(), kNoCand);
+    gate_cand2_.assign(net_.size(), kNoCand);
+    gate_leaf_cand_.assign(net_.size(), kNoCand);
+    gate_cost_.assign(net_.size(), 0);
+    gate_level_.assign(net_.size(), 0);
+    input_signal_.assign(net_.size(), 0);
+
+    // Netlist inputs: one literal per unate PI, id == unate PI position.
+    // Recover (source PI, phase) from the unate conversion record.
+    std::vector<InputLiteral> literals(net_.pis().size());
+    for (std::size_t k = 0; k < unate_.pi_literals.size(); ++k) {
+      const auto& lits = unate_.pi_literals[k];
+      if (lits.pos >= 0) {
+        literals[static_cast<std::size_t>(lits.pos)] =
+            InputLiteral{"", static_cast<int>(k), false};
+      }
+      if (lits.neg >= 0) {
+        literals[static_cast<std::size_t>(lits.neg)] =
+            InputLiteral{"", static_cast<int>(k), true};
+      }
+    }
+    for (std::size_t j = 0; j < net_.pis().size(); ++j) {
+      literals[j].name = net_.pi_name(net_.pis()[j]);
+      SOIDOM_ASSERT_MSG(literals[j].source_pi >= 0,
+                        "unate PI without a source literal record");
+      const std::uint32_t sig = netlist_.add_input(literals[j]);
+      input_signal_[net_.pis()[j].value] = sig;
+    }
+
+    for (std::uint32_t i = 2; i < net_.size(); ++i) process_node(NodeId{i});
+  }
+
+  MappingResult run() {
+    run_dp();
+    gate_signal_.assign(net_.size(), kNoSignal);
+    for (std::size_t j = 0; j < net_.outputs().size(); ++j) {
+      const Output& o = net_.outputs()[j];
+      const bool inverted = unate_.po_inverted[j];
+      DominoOutput out;
+      out.name = o.name;
+      out.inverted = inverted;
+      switch (net_.kind(o.driver)) {
+        case NodeKind::kConst0:
+          out.constant = 0;
+          break;
+        case NodeKind::kConst1:
+          out.constant = 1;
+          break;
+        case NodeKind::kPi:
+          out.signal = input_signal_[o.driver.value];
+          break;
+        case NodeKind::kAnd:
+        case NodeKind::kOr:
+          out.signal = realize_gate(o.driver);
+          break;
+        default:
+          SOIDOM_ASSERT_MSG(false, "unexpected PO driver kind");
+      }
+      netlist_.add_output(std::move(out));
+    }
+    MappingResult result;
+    result.dp_analyzer_mismatches = mismatches_;
+    result.predicted_cost = realized_weighted_cost();
+    result.netlist = std::move(netlist_);
+    return result;
+  }
+
+  std::vector<TupleInfo> tuples_of(NodeId node) {
+    run_dp();
+    SOIDOM_REQUIRE(net_.kind(node) == NodeKind::kAnd ||
+                       net_.kind(node) == NodeKind::kOr,
+                   "tuples_of: node is not an AND/OR gate");
+    std::vector<TupleInfo> out;
+    for (const std::uint32_t ci : node_cands_[node.value]) {
+      out.push_back(info_of(arena_[ci]));
+    }
+    out.push_back(info_of(arena_[gate_leaf_cand_[node.value]]));
+    // The gate-leaf tuple's committed includes the +1 next-level
+    // transistor; report the bare gate cost for the {1,1} entry instead.
+    out.back().committed = gate_cost_[node.value];
+    std::sort(out.begin(), out.end(), [](const TupleInfo& a, const TupleInfo& b) {
+      return std::tie(a.width, a.height, a.committed) <
+             std::tie(b.width, b.height, b.committed);
+    });
+    return out;
+  }
+
+  std::int64_t gate_cost_of(NodeId node) {
+    run_dp();
+    SOIDOM_REQUIRE(gate_cand_[node.value] != kNoCand,
+                   "gate_cost_of: node forms no gate");
+    return gate_cost_[node.value];
+  }
+
+ private:
+  static constexpr std::uint32_t kNoCand = 0xffffffffu;
+  static constexpr std::uint32_t kNoSignal = 0xffffffffu;
+
+  static TupleInfo info_of(const Cand& c) {
+    TupleInfo t;
+    t.width = c.w;
+    t.height = c.h;
+    t.committed = c.committed;
+    t.p_bot = c.p_bot;
+    t.p_above = c.p_above;
+    t.par_b = c.par_b;
+    t.has_pi = c.has_pi;
+    t.level = c.level;
+    t.disch_committed = c.disch;
+    return t;
+  }
+
+  /// Pending discharge points that fire when the structure's bottom is not
+  /// connected to ground (model-dependent; DESIGN.md section 2).
+  int pending_penalty(const Cand& c) const {
+    if (opts_.pending_model == PendingModel::kPaperLiteral) {
+      return c.p_total() + (c.par_b ? 1 : 0);
+    }
+    return c.par_b ? c.p_total() + 1 : 0;
+  }
+
+  bool grounded_if_footed(bool footed) const {
+    switch (opts_.grounding) {
+      case GroundingPolicy::kAllGrounded: return true;
+      case GroundingPolicy::kNoneGrounded: return false;
+      case GroundingPolicy::kFootlessGrounded: return !footed;
+    }
+    return false;
+  }
+
+  struct GateEval {
+    std::int64_t cost = 0;  ///< full gate cost, weighted units
+    int level = 0;
+    int disch = 0;  ///< total discharge transistors in the gate
+  };
+
+  GateEval eval_gate(const Cand& c) const {
+    const bool footed = c.has_pi;
+    const bool grounded = grounded_if_footed(footed);
+    const int pend = soi_ && !grounded ? pending_penalty(c) : 0;
+    GateEval e;
+    e.disch = c.disch + pend;
+    e.cost = c.committed + pend * disch_price_ +
+             3 * kCostUnitsPerTransistor +  // output inverter + keeper
+             clock_cost_ +                  // precharge pMOS
+             (footed ? clock_cost_ : 0);    // n-clock foot
+    e.level = c.level + 1;
+    return e;
+  }
+
+  /// Selection order: area -> (cost, level, pending); depth -> (level,
+  /// cost, pending).  Pending p_dis is the paper's tie-breaker.
+  std::tuple<std::int64_t, std::int64_t, int> rank(std::int64_t cost,
+                                                   int level,
+                                                   int pending) const {
+    if (opts_.objective == CostObjective::kDepth) {
+      return {level, cost, pending};
+    }
+    return {cost, level, pending};
+  }
+
+  bool dominates(const Cand& x, const Cand& y) const {
+    if (x.committed > y.committed) return false;
+    if (x.has_pi && !y.has_pi) return false;
+    if (opts_.objective == CostObjective::kDepth && x.level > y.level) {
+      return false;
+    }
+    if (soi_) {
+      if (x.p_bot > y.p_bot || x.p_above > y.p_above) return false;
+      if (x.par_b && !y.par_b) return false;
+    }
+    return true;
+  }
+
+  // --- candidate construction --------------------------------------------
+
+  std::uint32_t push_cand(const Cand& c) {
+    arena_.push_back(c);
+    return static_cast<std::uint32_t>(arena_.size() - 1);
+  }
+
+  void try_or(std::vector<Cand>& out, const Cand& x, std::uint32_t xi,
+              const Cand& y, std::uint32_t yi) const {
+    const int w = x.w + y.w;
+    const int h = std::max(x.h, y.h);
+    // With complex gates, OVERSIZE parallels (Wmax < W <= 2*Wmax) are kept
+    // as split fodder: they can only become a dual gate, never a single
+    // pulldown or a series operand.
+    const int limit =
+        opts_.enable_complex_gates ? 2 * opts_.max_width : opts_.max_width;
+    if (w > limit) return;
+    Cand c;
+    c.op = Cand::Op::kParallel;
+    c.a = xi;
+    c.b = yi;
+    c.w = static_cast<std::uint8_t>(w);
+    c.h = static_cast<std::uint8_t>(h);
+    c.committed = x.committed + y.committed;
+    c.disch = static_cast<std::uint16_t>(x.disch + y.disch);
+    c.p_bot = static_cast<std::uint16_t>(x.p_total() + y.p_total());
+    c.p_above = 0;
+    c.par_b = true;
+    c.has_pi = x.has_pi || y.has_pi;
+    c.level = std::max(x.level, y.level);
+    out.push_back(c);
+  }
+
+  void try_and(std::vector<Cand>& out, const Cand& top, std::uint32_t ti,
+               const Cand& bottom, std::uint32_t bi) const {
+    const int h = top.h + bottom.h;
+    const int w = std::max(top.w, bottom.w);
+    if (h > opts_.max_height) return;
+    if (w > opts_.max_width) return;  // oversize parallels cannot go in series
+    int commit_pts = 0;
+    int carried = 0;
+    if (opts_.pending_model == PendingModel::kPaperLiteral) {
+      commit_pts = top.p_total() + 1;
+      carried = 0;
+    } else if (top.par_b) {
+      commit_pts = top.p_bot + 1;  // top's parallel bottom + its interior
+      carried = top.p_above;
+    } else {
+      commit_pts = 0;
+      carried = top.p_total() + 1;  // new junction stays a series point
+    }
+    Cand c;
+    c.op = Cand::Op::kSeries;
+    c.a = ti;
+    c.b = bi;
+    c.w = static_cast<std::uint8_t>(w);
+    c.h = static_cast<std::uint8_t>(h);
+    c.committed =
+        top.committed + bottom.committed + commit_pts * disch_price_;
+    c.disch = static_cast<std::uint16_t>(top.disch + bottom.disch +
+                                         (soi_ ? commit_pts : 0));
+    c.p_bot = bottom.p_bot;
+    c.p_above = static_cast<std::uint16_t>(bottom.p_above + carried);
+    c.par_b = bottom.par_b;
+    c.has_pi = top.has_pi || bottom.has_pi;
+    c.level = std::max(top.level, bottom.level);
+    out.push_back(c);
+  }
+
+  /// The paper's placement heuristic: the operand whose bottom is a
+  /// parallel stack goes to the bottom; when both qualify, the one with the
+  /// larger p_dis (it defers more discharge transistors).
+  bool second_goes_bottom(const Cand& x, const Cand& y) const {
+    if (x.par_b != y.par_b) return y.par_b;
+    if (x.par_b && y.par_b) return y.p_total() >= x.p_total();
+    return true;  // neither: keep textual order (x top, y bottom)
+  }
+
+  /// Candidate sets usable by a parent combining over `child`.
+  std::vector<std::uint32_t> usable_set(NodeId child) const {
+    const NodeKind kind = net_.kind(child);
+    SOIDOM_ASSERT_MSG(kind != NodeKind::kConst0 && kind != NodeKind::kConst1,
+                      "constant feeding a mapped gate (should be swept)");
+    if (kind == NodeKind::kPi) {
+      return {pi_leaf_cand_.at(child.value)};
+    }
+    SOIDOM_ASSERT(kind == NodeKind::kAnd || kind == NodeKind::kOr);
+    if (opts_.gate_at_fanout && fanout_[child.value] > 1) {
+      return {gate_leaf_cand_[child.value]};
+    }
+    std::vector<std::uint32_t> set = node_cands_[child.value];
+    set.push_back(gate_leaf_cand_[child.value]);
+    return set;
+  }
+
+  void process_node(NodeId id) {
+    const Node& n = net_.node(id);
+    if (n.kind == NodeKind::kPi) {
+      Cand leaf;
+      leaf.op = Cand::Op::kInputLeaf;
+      leaf.a = input_signal_[id.value];
+      leaf.committed = kCostUnitsPerTransistor;
+      leaf.has_pi = true;
+      pi_leaf_cand_[id.value] = push_cand(leaf);
+      return;
+    }
+    if (n.kind != NodeKind::kAnd && n.kind != NodeKind::kOr) return;
+
+    const auto s0 = usable_set(n.fanin0);
+    const auto s1 = usable_set(n.fanin1);
+    std::vector<Cand> raw;
+    raw.reserve(s0.size() * s1.size() * 2);
+    for (const std::uint32_t i0 : s0) {
+      for (const std::uint32_t i1 : s1) {
+        const Cand& c0 = arena_[i0];
+        const Cand& c1 = arena_[i1];
+        if (n.kind == NodeKind::kOr) {
+          try_or(raw, c0, i0, c1, i1);
+        } else if (opts_.engine == MappingEngine::kDominoMap) {
+          // Bulk-CMOS convention (the paper's Fig. 2(a)): the parallel
+          // stack sits at the TOP of the series stack, nearest the dynamic
+          // node, where bulk designers place it for charge-sharing
+          // reasons.  This is exactly the PBE-hostile structure the paper
+          // uses as its baseline.
+          if (c1.par_b && !c0.par_b) {
+            try_and(raw, c1, i1, c0, i0);
+          } else {
+            try_and(raw, c0, i0, c1, i1);
+          }
+        } else if (opts_.exhaustive_ordering) {
+          try_and(raw, c0, i0, c1, i1);
+          try_and(raw, c1, i1, c0, i0);
+        } else if (second_goes_bottom(c0, c1)) {
+          try_and(raw, c0, i0, c1, i1);
+        } else {
+          try_and(raw, c1, i1, c0, i0);
+        }
+      }
+    }
+    SOIDOM_REQUIRE(!raw.empty(),
+                   "no feasible pulldown shape; increase max_height");
+
+    // Per-shape Pareto pruning + beam cap.
+    std::unordered_map<std::uint32_t, std::vector<Cand>> by_shape;
+    for (const Cand& c : raw) {
+      auto& bucket = by_shape[(static_cast<std::uint32_t>(c.w) << 8) | c.h];
+      bool dominated = false;
+      for (const Cand& kept : bucket) {
+        if (dominates(kept, c)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::erase_if(bucket, [&](const Cand& kept) { return dominates(c, kept); });
+      bucket.push_back(c);
+    }
+
+    std::vector<std::uint32_t>& set = node_cands_[id.value];
+    for (auto& [shape, bucket] : by_shape) {
+      std::sort(bucket.begin(), bucket.end(), [&](const Cand& a, const Cand& b) {
+        return rank(a.committed, a.level, a.p_total()) <
+               rank(b.committed, b.level, b.p_total());
+      });
+      const std::size_t keep =
+          std::min(bucket.size(), static_cast<std::size_t>(opts_.beam_width));
+      for (std::size_t k = 0; k < keep; ++k) set.push_back(push_cand(bucket[k]));
+    }
+
+    // Gate formation: pick the best candidate under the objective.
+    std::uint32_t best = kNoCand;
+    std::uint32_t best2 = kNoCand;  // second pulldown of a complex gate
+    GateEval best_eval;
+    for (const std::uint32_t ci : set) {
+      if (arena_[ci].w > opts_.max_width) continue;  // split fodder only
+      const GateEval e = eval_gate(arena_[ci]);
+      if (best == kNoCand ||
+          rank(e.cost, e.level, arena_[ci].p_total()) <
+              rank(best_eval.cost, best_eval.level, arena_[best].p_total())) {
+        best = ci;
+        best2 = kNoCand;
+        best_eval = e;
+      }
+    }
+    SOIDOM_ASSERT(best != kNoCand);
+
+    // Complex-gate option (paper solution 7): at an OR node, form the gate
+    // from one pulldown per operand joined by a static NAND2.  Each
+    // pulldown keeps its own grounded bottom; the overhead is 2 precharge
+    // (clocked) + NAND2 (4) + 2 keepers + a foot per footed pulldown.
+    if (opts_.enable_complex_gates && n.kind == NodeKind::kOr) {
+      auto resolved = [&](const Cand& c) {
+        const bool grounded = grounded_if_footed(c.has_pi);
+        const int pend = soi_ && !grounded ? pending_penalty(c) : 0;
+        return std::pair<std::int64_t, int>{c.committed + pend * disch_price_,
+                                            c.disch + pend};
+      };
+      // Every parallel-rooted candidate (including the oversize ones kept
+      // as split fodder) can be cut at its root into the gate's two
+      // pulldowns.
+      for (const std::uint32_t ci : set) {
+        const Cand& c = arena_[ci];
+        if (c.op != Cand::Op::kParallel) continue;
+        const std::uint32_t i0 = c.a;
+        const std::uint32_t i1 = c.b;
+        const Cand& a = arena_[i0];
+        const Cand& b = arena_[i1];
+        if (a.w > opts_.max_width || b.w > opts_.max_width) continue;
+        const auto [cost_a, disch_a] = resolved(a);
+        const auto [cost_b, disch_b] = resolved(b);
+        GateEval e;
+        e.disch = disch_a + disch_b;
+        e.cost = cost_a + cost_b + 6 * kCostUnitsPerTransistor +
+                 2 * clock_cost_ + (a.has_pi ? clock_cost_ : 0) +
+                 (b.has_pi ? clock_cost_ : 0);
+        e.level = std::max(a.level, b.level) + 1;
+        const int pending = a.p_total() + b.p_total();
+        if (rank(e.cost, e.level, pending) <
+            rank(best_eval.cost, best_eval.level,
+                 best2 == kNoCand ? arena_[best].p_total()
+                                  : arena_[best].p_total() +
+                                        arena_[best2].p_total())) {
+          best = i0;
+          best2 = i1;
+          best_eval = e;
+        }
+      }
+    }
+
+    gate_cand_[id.value] = best;
+    gate_cand2_[id.value] = best2;
+    gate_cost_[id.value] = best_eval.cost;
+    gate_level_[id.value] = best_eval.level;
+
+    Cand leaf;
+    leaf.op = Cand::Op::kGateLeaf;
+    leaf.a = id.value;
+    leaf.committed = best_eval.cost + kCostUnitsPerTransistor;
+    leaf.level = static_cast<std::int16_t>(best_eval.level);
+    gate_leaf_cand_[id.value] = push_cand(leaf);
+  }
+
+  // --- realization ---------------------------------------------------------
+
+  PdnIndex build_pdn(Pdn& pdn, std::uint32_t ci) {
+    const Cand& c = arena_[ci];
+    switch (c.op) {
+      case Cand::Op::kInputLeaf:
+        return pdn.add_leaf(c.a);
+      case Cand::Op::kGateLeaf:
+        return pdn.add_leaf(realize_gate(NodeId{c.a}));
+      case Cand::Op::kSeries: {
+        const PdnIndex top = build_pdn(pdn, c.a);
+        const PdnIndex bottom = build_pdn(pdn, c.b);
+        return pdn.add_series({top, bottom});
+      }
+      case Cand::Op::kParallel: {
+        const PdnIndex x = build_pdn(pdn, c.a);
+        const PdnIndex y = build_pdn(pdn, c.b);
+        return pdn.add_parallel({x, y});
+      }
+    }
+    SOIDOM_ASSERT(false);
+    return kInvalidPdnIndex;
+  }
+
+  std::uint32_t realize_gate(NodeId node) {
+    if (gate_signal_[node.value] != kNoSignal) {
+      return gate_signal_[node.value];
+    }
+    const std::uint32_t ci = gate_cand_[node.value];
+    const std::uint32_t ci2 = gate_cand2_[node.value];
+    SOIDOM_ASSERT(ci != kNoCand);
+    const Cand cand = arena_[ci];  // copy: arena stable, but be explicit
+
+    DominoGate gate;
+    const PdnIndex root = build_pdn(gate.pdn, ci);
+    gate.pdn.set_root(root);
+    gate.footed = cand.has_pi;
+    if (ci2 != kNoCand) {
+      const Cand cand2 = arena_[ci2];
+      const PdnIndex root2 = build_pdn(gate.pdn2, ci2);
+      gate.pdn2.set_root(root2);
+      gate.footed2 = cand2.has_pi;
+    }
+
+    // Cross-check footedness against the realized leaves, per pulldown.
+    auto check_feet = [&](const Pdn& pdn, bool footed_flag) {
+      bool has_input_leaf = false;
+      for (const std::uint32_t sig : pdn.leaf_signals()) {
+        if (netlist_.is_input_signal(sig)) has_input_leaf = true;
+      }
+      SOIDOM_ASSERT_MSG(has_input_leaf == footed_flag,
+                        "DP footedness disagrees with realized leaves");
+    };
+    check_feet(gate.pdn, gate.footed);
+    if (gate.dual()) check_feet(gate.pdn2, gate.footed2);
+
+    if (soi_) {
+      auto protect = [&](const Pdn& pdn, bool footed_flag,
+                         const Cand& c) -> std::vector<DischargePoint> {
+        const bool grounded = grounded_if_footed(footed_flag);
+        auto required =
+            analyze_pbe(pdn, grounded, opts_.pending_model).required;
+        const int predicted = c.disch + (grounded ? 0 : pending_penalty(c));
+        if (static_cast<int>(required.size()) != predicted) ++mismatches_;
+        return required;
+      };
+      gate.discharges = protect(gate.pdn, gate.footed, cand);
+      if (gate.dual()) {
+        gate.discharges2 = protect(gate.pdn2, gate.footed2, arena_[ci2]);
+      }
+    }
+    const std::uint32_t signal = netlist_.add_gate(std::move(gate));
+    gate_signal_[node.value] = signal;
+    return signal;
+  }
+
+  std::int64_t realized_weighted_cost() const {
+    std::int64_t cost = 0;
+    for (const DominoGate& g : netlist_.gates()) {
+      cost += g.pdn.transistor_count() * kCostUnitsPerTransistor;
+      if (g.dual()) {
+        cost += g.pdn2.transistor_count() * kCostUnitsPerTransistor;
+        cost += 6 * kCostUnitsPerTransistor;  // NAND2 + two keepers
+        cost += 2 * clock_cost_;              // two precharges
+        if (g.footed) cost += clock_cost_;
+        if (g.footed2) cost += clock_cost_;
+      } else {
+        cost += 3 * kCostUnitsPerTransistor;  // inverter + keeper
+        cost += clock_cost_;                  // precharge
+        if (g.footed) cost += clock_cost_;
+      }
+      cost += static_cast<std::int64_t>(g.discharges.size() +
+                                        g.discharges2.size()) *
+              clock_cost_;
+    }
+    return cost;
+  }
+
+  const UnateResult& unate_;
+  const Network& net_;
+  MapperOptions opts_;
+  std::int64_t clock_cost_ = kCostUnitsPerTransistor;
+  std::int64_t disch_price_ = kCostUnitsPerTransistor;
+  bool soi_ = true;
+  bool dp_done_ = false;
+
+  std::vector<Cand> arena_;
+  std::vector<std::vector<std::uint32_t>> node_cands_;
+  std::unordered_map<std::uint32_t, std::uint32_t> pi_leaf_cand_;
+  std::vector<std::uint32_t> gate_cand_;
+  std::vector<std::uint32_t> gate_cand2_;  ///< second pulldown (complex gates)
+  std::vector<std::uint32_t> gate_leaf_cand_;
+  std::vector<std::int64_t> gate_cost_;
+  std::vector<int> gate_level_;
+  std::vector<std::uint32_t> input_signal_;
+  std::vector<std::uint32_t> fanout_;
+
+  DominoNetlist netlist_;
+  std::vector<std::uint32_t> gate_signal_;
+  int mismatches_ = 0;
+};
+
+}  // namespace
+
+MappingResult map_to_domino(const UnateResult& unate,
+                            const MapperOptions& options) {
+  return MapperImpl(unate, options).run();
+}
+
+struct TupleOracle::Impl {
+  explicit Impl(const UnateResult& unate, const MapperOptions& options)
+      : mapper(unate, options) {}
+  MapperImpl mapper;
+};
+
+TupleOracle::TupleOracle(const UnateResult& unate, const MapperOptions& options)
+    : impl_(new Impl(unate, options)) {}
+
+TupleOracle::~TupleOracle() { delete impl_; }
+
+std::vector<TupleInfo> TupleOracle::tuples_of(NodeId node) const {
+  return impl_->mapper.tuples_of(node);
+}
+
+std::int64_t TupleOracle::gate_cost_of(NodeId node) const {
+  return impl_->mapper.gate_cost_of(node);
+}
+
+}  // namespace soidom

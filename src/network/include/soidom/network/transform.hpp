@@ -1,0 +1,18 @@
+/// \file transform.hpp
+/// Generic whole-network transformations: dead-node elimination, buffer
+/// sweeping, and deep copy with remapping.
+#pragma once
+
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// Removes nodes not reachable from any primary output and sweeps BUF
+/// nodes (outputs driven by a BUF are re-targeted to its fanin).  PIs are
+/// always retained, even if unused, so the external interface is stable.
+Network remove_dead_nodes(const Network& net);
+
+/// Deep copy (also canonicalizes ids into dense topological order).
+Network clone(const Network& net);
+
+}  // namespace soidom

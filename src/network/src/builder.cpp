@@ -1,0 +1,89 @@
+#include "soidom/network/builder.hpp"
+
+#include <utility>
+
+namespace soidom {
+namespace {
+
+std::uint64_t key_of(NodeKind kind, NodeId a, NodeId b) {
+  // Commutative ops are canonicalized by the caller.
+  return (static_cast<std::uint64_t>(kind) << 60) ^
+         (static_cast<std::uint64_t>(a.value) << 30) ^
+         static_cast<std::uint64_t>(b.value);
+}
+
+}  // namespace
+
+NetworkBuilder::NetworkBuilder(bool structural_hashing)
+    : strash_(structural_hashing) {}
+
+NodeId NetworkBuilder::add_pi(std::string name) {
+  const NodeId id{static_cast<std::uint32_t>(net_.nodes_.size())};
+  net_.nodes_.push_back(Node{NodeKind::kPi, {}, {}});
+  net_.pis_.push_back(id);
+  net_.pi_names_.push_back(std::move(name));
+  return id;
+}
+
+NodeId NetworkBuilder::add_node(NodeKind kind, NodeId a, NodeId b) {
+  if (strash_) {
+    const auto key = key_of(kind, a, b);
+    if (const auto it = hash_.find(key); it != hash_.end()) return it->second;
+    const NodeId id{static_cast<std::uint32_t>(net_.nodes_.size())};
+    net_.nodes_.push_back(Node{kind, a, b});
+    hash_.emplace(key, id);
+    return id;
+  }
+  const NodeId id{static_cast<std::uint32_t>(net_.nodes_.size())};
+  net_.nodes_.push_back(Node{kind, a, b});
+  return id;
+}
+
+NodeId NetworkBuilder::add_and(NodeId a, NodeId b) {
+  SOIDOM_ASSERT(a.value < net_.nodes_.size() && b.value < net_.nodes_.size());
+  if (strash_) {
+    if (a == kConst0Id || b == kConst0Id) return kConst0Id;
+    if (a == kConst1Id) return b;
+    if (b == kConst1Id) return a;
+    if (a == b) return a;
+    if (a.value > b.value) std::swap(a, b);
+  }
+  return add_node(NodeKind::kAnd, a, b);
+}
+
+NodeId NetworkBuilder::add_or(NodeId a, NodeId b) {
+  SOIDOM_ASSERT(a.value < net_.nodes_.size() && b.value < net_.nodes_.size());
+  if (strash_) {
+    if (a == kConst1Id || b == kConst1Id) return kConst1Id;
+    if (a == kConst0Id) return b;
+    if (b == kConst0Id) return a;
+    if (a == b) return a;
+    if (a.value > b.value) std::swap(a, b);
+  }
+  return add_node(NodeKind::kOr, a, b);
+}
+
+NodeId NetworkBuilder::add_inv(NodeId a) {
+  SOIDOM_ASSERT(a.value < net_.nodes_.size());
+  if (strash_) {
+    if (a == kConst0Id) return kConst1Id;
+    if (a == kConst1Id) return kConst0Id;
+    const Node& n = net_.nodes_[a.value];
+    if (n.kind == NodeKind::kInv) return n.fanin0;
+  }
+  return add_node(NodeKind::kInv, a, NodeId{});
+}
+
+NodeId NetworkBuilder::add_buf(NodeId a) {
+  SOIDOM_ASSERT(a.value < net_.nodes_.size());
+  return add_node(NodeKind::kBuf, a, NodeId{});
+}
+
+void NetworkBuilder::add_output(NodeId driver, std::string name) {
+  SOIDOM_ASSERT(driver.value < net_.nodes_.size());
+  net_.outputs_.push_back(Output{driver, std::move(name)});
+}
+
+Network NetworkBuilder::build() && { return std::move(net_); }
+
+}  // namespace soidom

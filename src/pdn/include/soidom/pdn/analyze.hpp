@@ -1,0 +1,82 @@
+/// \file analyze.hpp
+/// Parasitic-bipolar-effect (PBE) analysis of pulldown networks.
+///
+/// Implements the paper's discharge-point model (section V, clarified in
+/// DESIGN.md section 2).  Terminology:
+///
+///  * An electrical *junction* exists below every non-bottom child of a
+///    series node.  Junction (s, p) is the node between children p and p+1
+///    of series node s.
+///  * A junction is a *potential discharge point* when, in an unfavourable
+///    context, the transistor bodies around it can charge high and a
+///    sudden pulldown would fire the parasitic bipolar device; such points
+///    must be tied to a clock-driven pMOS discharge transistor.
+///
+/// Analysis rules (kCoherent model):
+///  * A parallel (OR) structure's internal pending points — and its bottom
+///    node — require discharge iff its bottom is not connected to ground.
+///  * A series structure's internal junctions require discharge only when
+///    the structure ends up as a branch of a parallel stack whose bottom is
+///    not grounded; a series chain reaching ground (or merely extended in
+///    series / closed into a gate) is safe.
+///
+/// The kPaperLiteral model follows the paper's boxed combine_and formula
+/// instead: *every* AND junction beneath a top structure costs a discharge
+/// transistor and top-side pending points always commit (see DESIGN.md for
+/// why we consider this a pseudocode simplification).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soidom/pdn/pdn.hpp"
+
+namespace soidom {
+
+/// Which pending-point bookkeeping to apply (see file comment).
+enum class PendingModel : std::uint8_t { kCoherent, kPaperLiteral };
+
+/// A point in a PDN that needs (or may need) a discharge transistor.
+struct DischargePoint {
+  /// Series node owning the junction, or kInvalidPdnIndex for the
+  /// structure's bottom node (only reported for ungrounded parallel roots).
+  PdnIndex series_node = kInvalidPdnIndex;
+  /// Junction position: between children `pos` and `pos+1`.
+  std::uint32_t pos = 0;
+
+  bool at_bottom() const { return series_node == kInvalidPdnIndex; }
+  friend bool operator==(const DischargePoint&, const DischargePoint&) = default;
+};
+
+/// Result of analyzing one PDN in a given grounding context.
+struct PbeAnalysis {
+  /// Points that MUST carry a discharge transistor for safe operation.
+  std::vector<DischargePoint> required;
+  /// Points that remained pending at the root (safe in this context, but
+  /// would require discharge if the structure were embedded deeper).
+  std::vector<DischargePoint> pending_at_root;
+  /// Whether the root structure's bottom is a parallel stack.
+  bool par_b_root = false;
+
+  int required_count() const { return static_cast<int>(required.size()); }
+  int pending_count() const { return static_cast<int>(pending_at_root.size()); }
+};
+
+/// Analyze `pdn` assuming its bottom terminal is (`bottom_grounded`) or is
+/// not directly connected to ground.
+PbeAnalysis analyze_pbe(const Pdn& pdn, bool bottom_grounded,
+                        PendingModel model = PendingModel::kCoherent);
+
+/// Convenience: number of discharge transistors required.
+int required_discharges(const Pdn& pdn, bool bottom_grounded,
+                        PendingModel model = PendingModel::kCoherent);
+
+/// True if `protected_points` covers every required discharge point.
+bool fully_protected(const Pdn& pdn, bool bottom_grounded,
+                     const std::vector<DischargePoint>& protected_points,
+                     PendingModel model = PendingModel::kCoherent);
+
+/// Diagnostic rendering, e.g. "junction(s=3,p=0)" / "bottom".
+std::string to_string(const DischargePoint& point);
+
+}  // namespace soidom

@@ -1,0 +1,33 @@
+/// \file reorder.hpp
+/// Series-stack reordering (the paper's RS_Map post-processing step and
+/// transformation 4 of section III-C).
+///
+/// Series conduction is order-independent, so the children of a series
+/// node may be permuted freely without changing the gate's function.  Only
+/// the BOTTOM position is electrically special: a structure placed at the
+/// bottom of the stack may end up connected to ground, in which case its
+/// pending discharge points (and, for a parallel structure, its bottom
+/// node) need no discharge transistors.  The pass therefore moves, in every
+/// series node bottom-up, the child with the largest deferrable-discharge
+/// benefit into the bottom slot.
+#pragma once
+
+#include "soidom/pdn/analyze.hpp"
+#include "soidom/pdn/pdn.hpp"
+
+namespace soidom {
+
+/// In-place reordering of series stacks of `pdn`.  Returns the number of
+/// series nodes whose bottom child changed.
+///
+/// `recursive` selects the strength: true reorders every series node
+/// bottom-up (the strongest post-pass this IR admits); false touches only
+/// the gate's top-level series stack, which is how we read the paper's
+/// RS_Map ("rearranges series stacks ... closer to ground") — its Table I
+/// gains are about half of SOI_Domino_Map's, consistent with the weaker
+/// variant.
+int reorder_series_stacks(Pdn& pdn,
+                          PendingModel model = PendingModel::kCoherent,
+                          bool recursive = true);
+
+}  // namespace soidom

@@ -1,0 +1,140 @@
+#include "soidom/pdn/analyze.hpp"
+
+#include <algorithm>
+
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+namespace {
+
+struct SubResult {
+  std::vector<DischargePoint> pending;
+  bool par_b = false;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const Pdn& pdn, PendingModel model) : pdn_(pdn), model_(model) {}
+
+  PbeAnalysis run(bool bottom_grounded) {
+    PbeAnalysis out;
+    if (pdn_.empty()) return out;
+    SubResult root = analyze(pdn_.root());
+    out.par_b_root = root.par_b;
+    if (!bottom_grounded) {
+      const bool commit_root =
+          model_ == PendingModel::kPaperLiteral || root.par_b;
+      if (commit_root) {
+        // All pending points commit; a parallel bottom additionally needs
+        // its bottom node discharged.
+        for (const DischargePoint& p : root.pending) required_.push_back(p);
+        if (root.par_b) required_.push_back(DischargePoint{});  // bottom
+        root.pending.clear();
+      }
+    }
+    out.required = std::move(required_);
+    out.pending_at_root = std::move(root.pending);
+    // Deterministic order for comparisons.
+    auto key = [](const DischargePoint& p) {
+      return (static_cast<std::uint64_t>(p.series_node) << 32) | p.pos;
+    };
+    std::sort(out.required.begin(), out.required.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+    std::sort(out.pending_at_root.begin(), out.pending_at_root.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+    return out;
+  }
+
+ private:
+  SubResult analyze(PdnIndex i) {
+    const PdnNode& n = pdn_.node(i);
+    switch (n.kind) {
+      case PdnKind::kLeaf:
+        return {};
+      case PdnKind::kParallel: {
+        // Branch bottoms merge into this node's bottom; branch-internal
+        // pending points become pending points of the parallel structure.
+        SubResult out;
+        out.par_b = true;
+        for (const PdnIndex c : n.children) {
+          SubResult sub = analyze(c);
+          // A parallel child would have been flattened away; a branch with
+          // par_b could only arise from an unnormalized tree.
+          for (DischargePoint& p : sub.pending) {
+            out.pending.push_back(p);
+          }
+          if (sub.par_b) {
+            // Nested parallel directly under parallel (non-normalized):
+            // treat its bottom as merged with ours — nothing extra.
+          }
+        }
+        return out;
+      }
+      case PdnKind::kSeries: {
+        // Fold bottom-up: start with the bottom child, stack the others on
+        // top one at a time (mirrors the mapper's combine_and).
+        const std::size_t k = n.children.size();
+        SubResult acc = analyze(n.children[k - 1]);
+        for (std::size_t t = k - 1; t-- > 0;) {
+          const SubResult top = analyze(n.children[t]);
+          const DischargePoint junction{
+              i, static_cast<std::uint32_t>(t)};  // node below child t
+          const bool commit_top =
+              model_ == PendingModel::kPaperLiteral || top.par_b;
+          if (commit_top) {
+            for (const DischargePoint& p : top.pending) {
+              required_.push_back(p);
+            }
+            if (top.par_b || model_ == PendingModel::kPaperLiteral) {
+              required_.push_back(junction);
+            }
+          } else {
+            // Series top: junction and internal points stay pending.
+            for (const DischargePoint& p : top.pending) {
+              acc.pending.push_back(p);
+            }
+            acc.pending.push_back(junction);
+          }
+          // par_b of the growing stack stays that of the bottom child.
+        }
+        return acc;
+      }
+    }
+    return {};
+  }
+
+  const Pdn& pdn_;
+  PendingModel model_;
+  std::vector<DischargePoint> required_;
+};
+
+}  // namespace
+
+PbeAnalysis analyze_pbe(const Pdn& pdn, bool bottom_grounded,
+                        PendingModel model) {
+  return Analyzer(pdn, model).run(bottom_grounded);
+}
+
+int required_discharges(const Pdn& pdn, bool bottom_grounded,
+                        PendingModel model) {
+  return analyze_pbe(pdn, bottom_grounded, model).required_count();
+}
+
+bool fully_protected(const Pdn& pdn, bool bottom_grounded,
+                     const std::vector<DischargePoint>& protected_points,
+                     PendingModel model) {
+  const PbeAnalysis analysis = analyze_pbe(pdn, bottom_grounded, model);
+  return std::all_of(
+      analysis.required.begin(), analysis.required.end(),
+      [&](const DischargePoint& p) {
+        return std::find(protected_points.begin(), protected_points.end(),
+                         p) != protected_points.end();
+      });
+}
+
+std::string to_string(const DischargePoint& point) {
+  if (point.at_bottom()) return "bottom";
+  return format("junction(s=%u,p=%u)", point.series_node, point.pos);
+}
+
+}  // namespace soidom

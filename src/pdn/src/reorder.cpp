@@ -1,0 +1,75 @@
+#include "soidom/pdn/reorder.hpp"
+
+#include <algorithm>
+
+namespace soidom {
+namespace {
+
+/// analyze_pbe over an arbitrary subtree: analyze a copy re-rooted at `i`.
+/// PDNs are bounded by the mapper's Wmax/Hmax, so the copy is cheap.
+PbeAnalysis analyze_subtree(const Pdn& pdn, PdnIndex i, bool bottom_grounded,
+                            PendingModel model) {
+  Pdn rerooted = pdn;
+  rerooted.set_root(i);
+  return analyze_pbe(rerooted, bottom_grounded, model);
+}
+
+/// Discharge transistors saved if subtree `i` sits at the bottom of its
+/// stack and that bottom reaches ground.
+int bottom_benefit(const Pdn& pdn, PdnIndex i, PendingModel model) {
+  const int floating =
+      analyze_subtree(pdn, i, /*bottom_grounded=*/false, model)
+          .required_count();
+  const int grounded =
+      analyze_subtree(pdn, i, /*bottom_grounded=*/true, model)
+          .required_count();
+  return floating - grounded;
+}
+
+int reorder_below(Pdn& pdn, PdnIndex i, PendingModel model, bool recursive) {
+  PdnNode& n = pdn.node(i);
+  if (n.kind == PdnKind::kLeaf) return 0;
+
+  int changed = 0;
+  if (recursive) {
+    // Post-order: settle children first so their benefit is final.
+    // (Copy the child list: recursive calls never mutate it, but the node
+    // reference could be invalidated if the pool ever grew; it does not,
+    // yet the copy keeps the loop robust and cheap.)
+    const std::vector<PdnIndex> children = n.children;
+    for (const PdnIndex c : children) {
+      changed += reorder_below(pdn, c, model, recursive);
+    }
+  }
+
+  if (pdn.node(i).kind != PdnKind::kSeries) return changed;
+
+  PdnNode& series = pdn.node(i);
+  int best = 0;
+  std::size_t best_pos = series.children.size() - 1;  // prefer current bottom
+  for (std::size_t k = 0; k < series.children.size(); ++k) {
+    const int benefit = bottom_benefit(pdn, series.children[k], model);
+    if (benefit > best ||
+        (benefit == best && k == series.children.size() - 1)) {
+      best = benefit;
+      best_pos = k;
+    }
+  }
+  if (best_pos != series.children.size() - 1) {
+    const PdnIndex chosen = series.children[best_pos];
+    series.children.erase(series.children.begin() +
+                          static_cast<std::ptrdiff_t>(best_pos));
+    series.children.push_back(chosen);
+    ++changed;
+  }
+  return changed;
+}
+
+}  // namespace
+
+int reorder_series_stacks(Pdn& pdn, PendingModel model, bool recursive) {
+  if (pdn.empty()) return 0;
+  return reorder_below(pdn, pdn.root(), model, recursive);
+}
+
+}  // namespace soidom

@@ -1,0 +1,62 @@
+/// \file power.hpp
+/// Dynamic-power estimation for domino netlists.
+///
+/// Why this exists: the paper's Table III penalizes clock-connected
+/// transistors because every one of them switches EVERY cycle — the clock
+/// network is the dominant, activity-independent power term in domino
+/// logic, and discharge transistors add straight to it.  This module turns
+/// the transistor counts into an energy estimate so the k-weighting
+/// experiment can be read in physical units:
+///
+///  * clock power   — precharge pMOS, n-clock feet and p-discharge devices
+///    toggle twice per cycle unconditionally (gate capacitance x Vdd^2 x f);
+///  * logic power   — the dynamic node and output toggle only when the
+///    gate evaluates to 1 and is then precharged back; the probability is
+///    computed exactly per gate by propagating signal probabilities
+///    through the netlist (inputs independent and uniform by default, an
+///    explicit probability vector otherwise);
+///  * input power   — pulldown gate terminals switch when their driving
+///    literal rises, weighted by device width if a sizing is given.
+///
+/// Units are normalized: capacitance in unit-transistor gate caps, energy
+/// in (unit cap) x Vdd^2, so comparisons between flows are exact while no
+/// technology data is needed.
+#pragma once
+
+#include <vector>
+
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+struct PowerModel {
+  double clock_cap_per_transistor = 1.0;  ///< precharge/foot/discharge gate cap
+  double node_cap_per_transistor = 0.6;   ///< dynamic-node diffusion cap
+  double inverter_cap = 2.0;              ///< output inverter + wire
+  double input_cap_per_transistor = 1.0;  ///< pulldown gate terminal
+};
+
+struct PowerReport {
+  double clock_energy = 0.0;   ///< per cycle, activity-independent
+  double logic_energy = 0.0;   ///< per cycle, expected value
+  double input_energy = 0.0;   ///< per cycle, expected value
+  /// Per-gate probability that the gate evaluates to 1 (discharges).
+  std::vector<double> evaluate_probability;
+
+  double total() const { return clock_energy + logic_energy + input_energy; }
+};
+
+/// Estimate per-cycle dynamic energy.  `pi_one_probability[k]` is the
+/// probability that source primary input k is 1; empty means 0.5 for all.
+PowerReport estimate_power(const DominoNetlist& netlist,
+                           const PowerModel& model = {},
+                           const std::vector<double>& pi_one_probability = {});
+
+/// Exact probability that a pulldown conducts, given per-signal
+/// 1-probabilities (treats distinct signals as independent; exact for
+/// trees without repeated signals, which is what the mapper produces
+/// within a gate except through shared sub-gates).
+double conduction_probability(const Pdn& pdn,
+                              const std::vector<double>& signal_probability);
+
+}  // namespace soidom

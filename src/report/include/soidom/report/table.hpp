@@ -1,0 +1,37 @@
+/// \file table.hpp
+/// Aligned ASCII tables in the style of the paper's result tables, plus
+/// CSV export.  Used by every bench/ binary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soidom {
+
+/// A rectangular results table: header row + data rows.  Rendering right
+/// aligns numeric-looking cells and left aligns the rest.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal rule before the next row (used above the Average row).
+  void add_separator();
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  // --- cell formatting helpers -------------------------------------------
+  static std::string cell(int value);
+  static std::string cell(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  ///< row indices preceded by a rule
+};
+
+}  // namespace soidom

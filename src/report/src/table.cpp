@@ -1,0 +1,96 @@
+#include "soidom/report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultTable::ResultTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SOIDOM_ASSERT(!headers_.empty());
+}
+
+void ResultTable::add_row(std::vector<std::string> cells) {
+  SOIDOM_REQUIRE(cells.size() == headers_.size(),
+                 "ResultTable: wrong number of cells in row");
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string ResultTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells, bool header) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = width[c] - cells[c].size();
+      const bool right = !header && looks_numeric(cells[c]);
+      os << "| " << (right ? std::string(pad, ' ') + cells[c]
+                           : cells[c] + std::string(pad, ' '))
+         << ' ';
+    }
+    os << "|\n";
+  };
+
+  rule();
+  emit(headers_, true);
+  rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      rule();
+    }
+    emit(rows_[r], false);
+  }
+  rule();
+  return os.str();
+}
+
+std::string ResultTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string ResultTable::cell(int value) { return std::to_string(value); }
+
+std::string ResultTable::cell(double value, int decimals) {
+  return format("%.*f", decimals, value);
+}
+
+}  // namespace soidom

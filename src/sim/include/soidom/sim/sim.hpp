@@ -1,0 +1,61 @@
+/// \file sim.hpp
+/// 64-way bit-parallel functional simulation.
+///
+/// Every std::uint64_t word carries 64 independent input patterns, so one
+/// pass over the network evaluates 64 vectors.  Used as the universal
+/// functional-correctness oracle: decomposition, unate conversion and
+/// technology mapping are all checked against the source network by random
+/// simulation (and by exact BDD equivalence for small cones, see bdd/).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soidom/base/rng.hpp"
+#include "soidom/blif/blif.hpp"
+#include "soidom/network/network.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace soidom {
+
+using SimWord = std::uint64_t;
+
+/// Evaluate all nodes; `pi_words[k]` is the word for pis()[k].
+std::vector<SimWord> simulate_nodes(const Network& net,
+                                    const std::vector<SimWord>& pi_words);
+
+/// Evaluate primary outputs only.
+std::vector<SimWord> simulate_outputs(const Network& net,
+                                      const std::vector<SimWord>& pi_words);
+
+/// Single-vector evaluation (convenience; used by tests and soisim).
+std::vector<bool> evaluate(const Network& net,
+                           const std::vector<bool>& pi_values);
+
+/// Evaluate a unate network on *original* input words: positive literal
+/// leaves receive the word, negative leaves its complement.  Outputs are
+/// corrected by `po_inverted`, so the result is directly comparable with
+/// the source network's outputs.
+std::vector<SimWord> simulate_unate_outputs(
+    const UnateResult& unate, const std::vector<SimWord>& original_pi_words);
+
+/// Reference evaluation of a flat BLIF model (table-by-table, dependency
+/// order); oracle for decomposition tests.  `pi_values[k]` corresponds to
+/// model.inputs[k].
+std::vector<bool> evaluate(const BlifModel& model,
+                           const std::vector<bool>& pi_values);
+
+/// Draw one fresh random word per PI.
+std::vector<SimWord> random_pi_words(std::size_t num_pis, Rng& rng);
+
+/// Random-simulation equivalence of two networks with identical PI order
+/// and PO order.  `rounds` words of 64 patterns each.
+bool equivalent_by_simulation(const Network& a, const Network& b, int rounds,
+                              Rng& rng);
+
+/// Random-simulation check that a unate conversion preserved the source
+/// network's functionality.
+bool unate_preserves_function(const Network& source, const UnateResult& unate,
+                              int rounds, Rng& rng);
+
+}  // namespace soidom

@@ -1,0 +1,77 @@
+/// \file sizing.hpp
+/// Transistor sizing for mapped domino netlists — the paper's suggested
+/// follow-up step (section VII: "a followup technology-specific
+/// optimization step can be used to obtain further delay improvements",
+/// and section I: "possibly including transistor sizing, which our work
+/// does not address").
+///
+/// The heuristic is logical-effort flavoured and deliberately simple
+/// (the mapper's abstraction level): widths are in units of a reference
+/// nMOS width.
+///
+///  1. stack compensation — a transistor on a series path of length H
+///     carries H devices' worth of resistance, so every pulldown leaf gets
+///     a width proportional to the longest series path it sits on;
+///  2. drive matching — each gate's output inverter is sized for the input
+///     capacitance it must drive (sum of the widths of the leaves its
+///     output feeds, plus a default wire/output load);
+///  3. criticality skew — gates on the worst-case timing path (per
+///     timing/timing.hpp) receive an extra width boost, off-path gates are
+///     left at minimum to save area.
+///
+/// The result carries per-leaf pulldown widths (in PDN leaf order, as
+/// walked by Pdn::leaf_signals), per-gate inverter drives, and the model's
+/// before/after delay estimates.
+#pragma once
+
+#include <vector>
+
+#include "soidom/domino/netlist.hpp"
+#include "soidom/timing/timing.hpp"
+
+namespace soidom {
+
+struct SizingOptions {
+  double min_width = 0.5;   ///< narrowest allowed device
+  double max_width = 8.0;   ///< widest allowed device
+  double unit_load = 1.0;   ///< default load on primary outputs
+  /// Extra width multiplier for gates on the critical path.
+  double critical_boost = 1.5;
+  /// Delay-model speedup exponent: effective series delay scales as
+  /// 1 / width^alpha (alpha < 1 models diffusion-cap pushback).
+  double alpha = 0.7;
+};
+
+struct GateSizing {
+  /// One width per pulldown transistor, in Pdn::leaf_signals() order.
+  std::vector<double> pulldown_widths;
+  double inverter_width = 1.0;
+  bool on_critical_path = false;
+};
+
+struct SizingResult {
+  std::vector<GateSizing> gates;
+  double estimated_delay_before = 0.0;
+  double estimated_delay_after = 0.0;
+  double total_width_before = 0.0;
+  double total_width_after = 0.0;
+
+  double speedup() const {
+    return estimated_delay_after > 0.0
+               ? estimated_delay_before / estimated_delay_after
+               : 1.0;
+  }
+};
+
+/// Size `netlist` under `options`.  Pure analysis: the netlist itself is
+/// not modified (widths live in the result; export_spice can consume them).
+SizingResult size_netlist(const DominoNetlist& netlist,
+                          const SizingOptions& options = {});
+
+/// Width-aware worst-case delay estimate (the objective size_netlist
+/// reports); exposed for tests and for comparing sizing strategies.
+double estimate_delay(const DominoNetlist& netlist,
+                      const std::vector<GateSizing>& sizing,
+                      const SizingOptions& options = {});
+
+}  // namespace soidom

@@ -1,0 +1,164 @@
+/// \file soisim.hpp
+/// Cycle-based switch-level simulation of domino netlists with a
+/// partially-depleted-SOI floating-body model.
+///
+/// This is the reproduction's stand-in for physical SOI hardware (see
+/// DESIGN.md section 3): it executes the exact failure scenario the paper
+/// walks through in section III-B — an off transistor high in a stack whose
+/// source and drain stay high for several cycles accumulates body charge;
+/// when its source node is then pulled low, the lateral parasitic bipolar
+/// device conducts and can erroneously discharge the dynamic node.
+///
+/// Model summary (cycle granularity, two phases per cycle):
+///  * PRECHARGE: the dynamic node is driven high, the gate output low.
+///    Inputs from other domino gates are low; primary-input literals hold
+///    their current values, so footed gates can charge internal nodes
+///    through on-transistors (no path to ground: the foot is off).  Every
+///    clock-driven pMOS discharge transistor pulls its junction low.
+///  * EVALUATE: the foot conducts; nodes connected to ground through on
+///    transistors go low, nodes connected to the (still-high) dynamic node
+///    go high, all others float and keep their charge.  The dynamic node
+///    discharges iff a conducting path to ground exists.
+///  * BODY STATE: an off nMOS whose source and drain terminals end the
+///    cycle high gains one unit of body charge; a transistor whose gate is
+///    on or whose source ends low resets to zero (capacitive coupling /
+///    body-source leakage, per the paper).
+///  * PBE: during evaluate, an OFF transistor with saturated body charge
+///    whose below-node falls from high to low while its above-node is high
+///    starts conducting parasitically; the injection iterates to a fixed
+///    point (one firing can trigger another).  Every firing is recorded,
+///    and any resulting wrong gate evaluation is reported.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+struct SoiSimConfig {
+  /// Cycles an off transistor's terminals must stay high before its body
+  /// saturates (paper: "a sufficiently large period of time").
+  int body_charge_threshold = 3;
+  /// When false, the parasitic device never conducts: an idealized bulk
+  /// process.  Useful for differential tests.
+  bool enable_pbe = true;
+  /// The paper's solution 1: "the keeper pmos device can be sized up to
+  /// provide some resistance to the PBE".  A parasitic-only discharge
+  /// path flips the dynamic node only when at least this many parasitic
+  /// devices fire in the gate; 1 models a minimum keeper (any firing
+  /// wins), larger values model upsized keepers.  Legitimate (gate-input)
+  /// discharges always win regardless.
+  int keeper_strength = 1;
+};
+
+/// One parasitic-bipolar firing.
+struct PbeEvent {
+  std::uint32_t gate = 0;        ///< gate index in the netlist
+  std::uint32_t transistor = 0;  ///< transistor index within the gate
+  int cycle = 0;
+  /// True when the firing flipped the gate's evaluation result.
+  bool corrupted_gate = false;
+};
+
+/// Result of one clock cycle.
+struct CycleResult {
+  std::vector<bool> outputs;        ///< sampled PO values at end of evaluate
+  std::vector<bool> expected;       ///< ideal (PBE-free) PO values
+  std::vector<PbeEvent> events;     ///< PBE firings this cycle
+  int corrupted_gates = 0;          ///< gates that evaluated wrongly
+
+  bool correct() const { return outputs == expected; }
+};
+
+/// Switch-level simulator.  Construct once per netlist, then step() with a
+/// source-primary-input vector per clock cycle.  State (node charge, body
+/// charge) persists across cycles — the PBE is a multi-cycle phenomenon.
+class SoiSimulator {
+ public:
+  SoiSimulator(const DominoNetlist& netlist, const SoiSimConfig& config = {});
+
+  /// Run one precharge+evaluate cycle.  `source_pi_values[k]` is the value
+  /// of original primary input k (literal phases applied internally).
+  CycleResult step(const std::vector<bool>& source_pi_values);
+
+  /// Clear all node and body state.
+  void reset();
+
+  int cycle() const { return cycle_; }
+  /// All PBE firings since construction / reset().
+  const std::vector<PbeEvent>& history() const { return history_; }
+
+  /// Max body charge currently held by any transistor of `gate`.
+  int max_body_charge(std::uint32_t gate) const;
+
+  // --- waveform tracing ----------------------------------------------------
+  /// Start recording one sample per cycle: primary inputs, every gate
+  /// output, per-gate max body charge, and a PBE event pulse.
+  void enable_trace(std::vector<std::string> pi_names);
+  /// Serialize the recorded samples as a Value Change Dump (IEEE 1364
+  /// $var/$dumpvars subset; one timestep per clock cycle).  Requires
+  /// enable_trace() to have been called before stepping.
+  std::string trace_vcd() const;
+
+ private:
+  struct Transistor {
+    std::uint32_t signal = 0;  ///< netlist signal driving the gate terminal
+    std::uint16_t above = 0;   ///< node index toward the dynamic node
+    std::uint16_t below = 0;   ///< node index toward ground
+    int body = 0;              ///< accumulated body charge (cycles)
+    bool pbe_on = false;       ///< parasitic conduction this evaluate
+  };
+
+  struct GateModel {
+    bool footed = false;
+    /// node 0 = dynamic node, node 1 = pulldown bottom terminal.
+    int num_nodes = 2;
+    std::vector<Transistor> transistors;
+    std::vector<std::uint16_t> discharged_nodes;  ///< have a p-discharge
+    /// Charge state per node (true = high).  Persisted across cycles.
+    std::vector<bool> node_high;
+    bool output = false;  ///< gate output (after the inverter)
+  };
+
+  void build_models(const DominoNetlist& netlist);
+  GateModel build_model(const Pdn& pdn,
+                        const std::vector<DischargePoint>& discharges,
+                        bool footed) const;
+  bool literal_value(std::uint32_t signal,
+                     const std::vector<bool>& source_pi_values) const;
+  /// Flood-fill node values for one pulldown given per-transistor
+  /// conduction.  Returns whether the dynamic node is (still) high.
+  bool settle(GateModel& gate, const std::vector<bool>& conducting,
+              bool ground_connected) const;
+  /// One precharge+evaluate pass over one pulldown model; returns true if
+  /// the dynamic node discharged.  `tr_offset` offsets transistor indices
+  /// in reported PBE events (pdn2 devices follow pdn's).
+  bool run_pulldown(GateModel& gate, const std::vector<bool>& actual,
+                    const std::vector<bool>& source_pi_values,
+                    std::uint32_t gate_index, std::uint32_t tr_offset,
+                    CycleResult& result);
+
+  struct TraceSample {
+    std::vector<bool> pi_values;
+    std::vector<bool> gate_outputs;
+    std::vector<int> body_charge;
+    bool pbe_fired = false;
+  };
+
+  const DominoNetlist& netlist_;
+  SoiSimConfig config_;
+  std::vector<GateModel> gates_;
+  /// Second pulldown models for dual (complex) gates; null otherwise.
+  std::vector<std::unique_ptr<GateModel>> seconds_;
+  int cycle_ = 0;
+  std::vector<PbeEvent> history_;
+  bool tracing_ = false;
+  std::vector<std::string> trace_pi_names_;
+  std::vector<TraceSample> trace_;
+};
+
+}  // namespace soidom

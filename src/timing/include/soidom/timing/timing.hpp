@@ -1,0 +1,80 @@
+/// \file timing.hpp
+/// Static timing analysis for domino netlists with a floating-body
+/// hysteresis model.
+///
+/// The paper motivates PBE control with a timing side benefit (section I):
+/// "In narrowing the range of permissible voltages for the body ... we
+/// make the timing behavior of the circuit more predictable."  This module
+/// quantifies that claim.  Gate delay uses a library-free linear model in
+/// the pulldown's shape (the same abstraction level as the mapper's cost
+/// function); each transistor whose body can float (its source is an
+/// internal junction that is neither discharged every cycle nor the
+/// every-evaluate-grounded stack bottom) contributes a delay UNCERTAINTY
+/// band, because a floating body modulates Vt with switching history
+/// (hysteretic Vt variation, the paper's reference [21]).
+///
+/// The report carries min/max arrival times; the difference at the
+/// critical output is the circuit's timing hysteresis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+/// Library-free linear delay model, in arbitrary delay units.
+/// Defaults are typical relative magnitudes for a domino stage; the
+/// analysis only ever compares netlists under the SAME model, so units
+/// cancel out of every reported ratio.
+struct DelayModel {
+  double gate_base = 1.0;         ///< precharge device + output inverter
+  double per_series = 0.6;        ///< per transistor on the tallest path
+  double per_parallel = 0.15;     ///< junction loading per parallel branch
+  double per_fanout = 0.25;       ///< output load per driven gate
+  double per_discharge = 0.08;    ///< discharge pMOS loading on a junction
+  /// Extra worst-case delay per floating-body transistor in the gate's
+  /// pulldown (hysteretic Vt variation).
+  double body_uncertainty = 0.2;
+};
+
+/// Per-gate timing figures.
+struct GateTiming {
+  double delay_min = 0.0;
+  double delay_max = 0.0;
+  double arrival_min = 0.0;  ///< earliest-possible settling at gate output
+  double arrival_max = 0.0;  ///< worst-case settling
+  int floating_body_transistors = 0;
+};
+
+struct TimingReport {
+  std::vector<GateTiming> gates;
+  double critical_min = 0.0;
+  double critical_max = 0.0;
+  int total_floating_body = 0;
+  /// Gate indices on the worst-case critical path, inputs-to-output.
+  std::vector<std::uint32_t> critical_path;
+
+  /// Absolute timing-hysteresis band at the critical output.
+  double hysteresis() const { return critical_max - critical_min; }
+  /// Hysteresis relative to nominal delay (0 = fully predictable).
+  double hysteresis_ratio() const {
+    return critical_min > 0.0 ? hysteresis() / critical_min : 0.0;
+  }
+
+  std::string to_string() const;
+};
+
+/// Analyze the netlist under `model`.
+TimingReport analyze_timing(const DominoNetlist& netlist,
+                            const DelayModel& model = {});
+
+/// Number of transistors in `gate` whose body can float: source terminal
+/// is an internal junction with no discharge transistor.  Transistors
+/// whose source is the stack bottom (ground or the every-evaluate-grounded
+/// foot node) or a discharged junction have pinned bodies.
+int floating_body_transistors(const DominoGate& gate);
+
+}  // namespace soidom

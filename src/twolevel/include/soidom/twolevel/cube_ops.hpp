@@ -1,0 +1,43 @@
+/// \file cube_ops.hpp
+/// Cube-level algebra on SOP covers: containment, cofactors, tautology.
+/// These are the primitives the two-level minimizer (minimize.hpp) is
+/// built from, exposed because they are independently useful (and
+/// independently testable).
+#pragma once
+
+#include "soidom/blif/sop.hpp"
+
+namespace soidom {
+
+/// True if every minterm of `inner` is a minterm of `outer`
+/// (single-cube containment: outer's care literals agree with inner's).
+bool cube_contains(const Cube& outer, const Cube& inner);
+
+/// The smallest cube covering both inputs.
+Cube supercube(const Cube& a, const Cube& b);
+
+/// Number of variables where the cubes have opposite care literals.
+int cube_distance(const Cube& a, const Cube& b);
+
+/// Cofactor of a cube list with respect to a single literal: cubes
+/// requiring the opposite phase drop out; the variable becomes don't-care
+/// in the rest.  `positive` selects the phase of variable `var`.
+std::vector<Cube> cofactor(const std::vector<Cube>& cubes, std::size_t var,
+                           bool positive);
+
+/// Cofactor with respect to every care literal of `against`.
+std::vector<Cube> cofactor(const std::vector<Cube>& cubes,
+                           const Cube& against);
+
+/// Is the OR of `cubes` (over `num_inputs` variables) the constant-1
+/// function?  Classic unate-recursive tautology check.
+bool is_tautology(const std::vector<Cube>& cubes, std::size_t num_inputs);
+
+/// Is `cube` covered by the OR of `cubes`?
+bool cover_contains_cube(const std::vector<Cube>& cubes,
+                         std::size_t num_inputs, const Cube& cube);
+
+/// Total care-literal count of a cube list.
+int literal_count(const std::vector<Cube>& cubes);
+
+}  // namespace soidom

@@ -1,0 +1,36 @@
+/// \file extract.hpp
+/// Algebraic common-cube extraction across a flat BLIF model — the
+/// multi-level half of the SIS-style preprocessing (minimize.hpp is the
+/// two-level half).  Greedy fast-extract flavour:
+///
+///   repeat:
+///     count every (literal, literal) pair co-occurring inside cubes,
+///     across ALL tables (literals are (signal, phase) pairs, so shared
+///     structure between tables is found too);
+///     extract the highest-gain pair into a fresh 2-literal table and
+///     rewrite every covering cube to reference it;
+///   until no extraction gains literals.
+///
+/// The rewritten model computes the identical functions (each extraction
+/// is an algebraic substitution cube' = divisor AND rest).  Extraction
+/// before decomposition increases sharing in the mapped netlist: the
+/// divisor becomes one multi-fanout node instead of repeated transistor
+/// pairs.
+#pragma once
+
+#include "soidom/blif/blif.hpp"
+
+namespace soidom {
+
+struct ExtractStats {
+  int divisors_extracted = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Extract common cubes in place.  `max_rounds` bounds the greedy loop;
+/// each round extracts one divisor.  New signals are named
+/// "<prefix><n>" with a prefix chosen to avoid collisions.
+ExtractStats extract_common_cubes(BlifModel& model, int max_rounds = 64);
+
+}  // namespace soidom

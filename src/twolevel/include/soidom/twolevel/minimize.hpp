@@ -1,0 +1,48 @@
+/// \file minimize.hpp
+/// Two-level (SOP) logic minimization in the espresso style.
+///
+/// The paper's input networks come from SIS-optimized MCNC benchmarks;
+/// this module supplies the equivalent preprocessing so raw BLIF covers
+/// are minimized before technology decomposition.  Two engines:
+///
+///  * Quine–McCluskey with essential-prime extraction and greedy covering
+///    for covers up to `exact_input_limit` inputs (prime-and-cover; the
+///    cover selection is greedy, so "exact" applies to primality, and the
+///    result is a prime, irredundant cover);
+///  * espresso-lite EXPAND / IRREDUNDANT iteration for wider covers:
+///    literal removal and cube deletion validated with the unate-recursive
+///    tautology check (cube_ops.hpp), iterated to a fixed point.
+///
+/// Both engines preserve the function exactly (covers remain single-output
+/// and on-set/off-set polarity is kept).
+#pragma once
+
+#include "soidom/blif/blif.hpp"
+#include "soidom/blif/sop.hpp"
+
+namespace soidom {
+
+struct MinimizeOptions {
+  /// Use Quine–McCluskey below this input count (else espresso-lite).
+  int exact_input_limit = 10;
+  /// Fixed-point iteration cap for the heuristic engine.
+  int max_iterations = 8;
+};
+
+struct MinimizeStats {
+  int cubes_before = 0;
+  int cubes_after = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Minimize one cover.  `stats`, when non-null, receives before/after
+/// sizes.
+SopCover minimize(const SopCover& cover, const MinimizeOptions& options = {},
+                  MinimizeStats* stats = nullptr);
+
+/// Minimize every table of a BLIF model; returns aggregate statistics.
+MinimizeStats minimize_tables(BlifModel& model,
+                              const MinimizeOptions& options = {});
+
+}  // namespace soidom

@@ -1,0 +1,107 @@
+#include "soidom/twolevel/cube_ops.hpp"
+
+#include <algorithm>
+
+#include "soidom/base/contracts.hpp"
+
+namespace soidom {
+
+bool cube_contains(const Cube& outer, const Cube& inner) {
+  SOIDOM_ASSERT(outer.lits.size() == inner.lits.size());
+  for (std::size_t v = 0; v < outer.lits.size(); ++v) {
+    if (outer.lits[v] == CubeLit::kDontCare) continue;
+    if (outer.lits[v] != inner.lits[v]) return false;
+  }
+  return true;
+}
+
+Cube supercube(const Cube& a, const Cube& b) {
+  SOIDOM_ASSERT(a.lits.size() == b.lits.size());
+  Cube out;
+  out.lits.resize(a.lits.size());
+  for (std::size_t v = 0; v < a.lits.size(); ++v) {
+    out.lits[v] = a.lits[v] == b.lits[v] ? a.lits[v] : CubeLit::kDontCare;
+  }
+  return out;
+}
+
+int cube_distance(const Cube& a, const Cube& b) {
+  SOIDOM_ASSERT(a.lits.size() == b.lits.size());
+  int d = 0;
+  for (std::size_t v = 0; v < a.lits.size(); ++v) {
+    const bool opposite =
+        (a.lits[v] == CubeLit::kPos && b.lits[v] == CubeLit::kNeg) ||
+        (a.lits[v] == CubeLit::kNeg && b.lits[v] == CubeLit::kPos);
+    if (opposite) ++d;
+  }
+  return d;
+}
+
+std::vector<Cube> cofactor(const std::vector<Cube>& cubes, std::size_t var,
+                           bool positive) {
+  const CubeLit keep = positive ? CubeLit::kPos : CubeLit::kNeg;
+  const CubeLit drop = positive ? CubeLit::kNeg : CubeLit::kPos;
+  std::vector<Cube> out;
+  for (const Cube& c : cubes) {
+    if (c.lits[var] == drop) continue;
+    Cube reduced = c;
+    if (reduced.lits[var] == keep) reduced.lits[var] = CubeLit::kDontCare;
+    out.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+std::vector<Cube> cofactor(const std::vector<Cube>& cubes,
+                           const Cube& against) {
+  std::vector<Cube> out = cubes;
+  for (std::size_t v = 0; v < against.lits.size(); ++v) {
+    if (against.lits[v] == CubeLit::kDontCare) continue;
+    out = cofactor(out, v, against.lits[v] == CubeLit::kPos);
+  }
+  return out;
+}
+
+bool is_tautology(const std::vector<Cube>& cubes, std::size_t num_inputs) {
+  // Terminal cases.
+  for (const Cube& c : cubes) {
+    if (c.care_count() == 0) return true;  // universal cube
+  }
+  if (cubes.empty()) return false;
+
+  // Pick the most binate variable; a cover unate in every variable and
+  // lacking a universal cube is not a tautology.
+  std::size_t best_var = num_inputs;
+  int best_score = -1;
+  for (std::size_t v = 0; v < num_inputs; ++v) {
+    int pos = 0;
+    int neg = 0;
+    for (const Cube& c : cubes) {
+      if (c.lits[v] == CubeLit::kPos) ++pos;
+      if (c.lits[v] == CubeLit::kNeg) ++neg;
+    }
+    if (pos > 0 && neg > 0) {
+      const int score = std::min(pos, neg);
+      if (score > best_score) {
+        best_score = score;
+        best_var = v;
+      }
+    }
+  }
+  if (best_var == num_inputs) return false;  // unate, no universal cube
+
+  return is_tautology(cofactor(cubes, best_var, true), num_inputs) &&
+         is_tautology(cofactor(cubes, best_var, false), num_inputs);
+}
+
+bool cover_contains_cube(const std::vector<Cube>& cubes,
+                         std::size_t num_inputs, const Cube& cube) {
+  return is_tautology(cofactor(cubes, cube), num_inputs);
+}
+
+int literal_count(const std::vector<Cube>& cubes) {
+  int n = 0;
+  for (const Cube& c : cubes) n += c.care_count();
+  return n;
+}
+
+}  // namespace soidom

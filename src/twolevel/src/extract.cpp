@@ -1,0 +1,161 @@
+#include "soidom/twolevel/extract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/twolevel/cube_ops.hpp"
+
+namespace soidom {
+namespace {
+
+/// A literal: signal name + phase.
+struct Literal {
+  std::string signal;
+  bool positive = true;
+  friend auto operator<=>(const Literal&, const Literal&) = default;
+};
+
+using LiteralPair = std::pair<Literal, Literal>;
+
+/// Collects the care literals of one cube as (signal, phase) pairs.
+std::vector<Literal> cube_literals(const BlifTable& table, const Cube& cube) {
+  std::vector<Literal> out;
+  for (std::size_t v = 0; v < cube.lits.size(); ++v) {
+    if (cube.lits[v] == CubeLit::kDontCare) continue;
+    out.push_back({table.inputs[v], cube.lits[v] == CubeLit::kPos});
+  }
+  return out;
+}
+
+/// True if `cube` of `table` contains both literals of `pair`.
+bool covers_pair(const BlifTable& table, const Cube& cube,
+                 const LiteralPair& pair) {
+  auto has = [&](const Literal& lit) {
+    for (std::size_t v = 0; v < table.inputs.size(); ++v) {
+      if (table.inputs[v] != lit.signal) continue;
+      const CubeLit want = lit.positive ? CubeLit::kPos : CubeLit::kNeg;
+      if (cube.lits[v] == want) return true;
+    }
+    return false;
+  };
+  return has(pair.first) && has(pair.second);
+}
+
+/// Fresh-name prefix that no existing signal uses.
+std::string divisor_prefix(const BlifModel& model) {
+  std::string prefix = "fx";
+  auto taken = [&] {
+    auto starts = [&](const std::string& name) {
+      return name.rfind(prefix, 0) == 0;
+    };
+    for (const std::string& in : model.inputs) {
+      if (starts(in)) return true;
+    }
+    for (const BlifTable& t : model.tables) {
+      if (starts(t.output)) return true;
+    }
+    return false;
+  };
+  while (taken()) prefix += '_';
+  return prefix;
+}
+
+int model_literals(const BlifModel& model) {
+  int n = 0;
+  for (const BlifTable& t : model.tables) n += literal_count(t.cover.cubes);
+  return n;
+}
+
+}  // namespace
+
+ExtractStats extract_common_cubes(BlifModel& model, int max_rounds) {
+  ExtractStats stats;
+  stats.literals_before = model_literals(model);
+  const std::string prefix = divisor_prefix(model);
+
+  for (int round = 0; round < max_rounds; ++round) {
+    // Count co-occurring literal pairs across all cubes of all tables.
+    std::map<LiteralPair, int> pair_count;
+    for (const BlifTable& table : model.tables) {
+      for (const Cube& cube : table.cover.cubes) {
+        const auto lits = cube_literals(table, cube);
+        for (std::size_t i = 0; i < lits.size(); ++i) {
+          for (std::size_t j = i + 1; j < lits.size(); ++j) {
+            LiteralPair key = lits[i] < lits[j]
+                                  ? LiteralPair{lits[i], lits[j]}
+                                  : LiteralPair{lits[j], lits[i]};
+            ++pair_count[key];
+          }
+        }
+      }
+    }
+
+    // Highest-gain pair: replacing 2 literals with 1 in `count` cubes
+    // saves `count` literals and spends 2 on the divisor table.
+    const LiteralPair* best = nullptr;
+    int best_count = 0;
+    for (const auto& [pair, count] : pair_count) {
+      if (count > best_count) {
+        best_count = count;
+        best = &pair;
+      }
+    }
+    if (best == nullptr || best_count - 2 <= 0) break;
+    const LiteralPair chosen = *best;
+
+    // Divisor table: fxN = first AND second (phases folded into the cube).
+    BlifTable divisor;
+    divisor.output = prefix + std::to_string(stats.divisors_extracted);
+    divisor.inputs = {chosen.first.signal, chosen.second.signal};
+    divisor.cover.num_inputs = 2;
+    divisor.cover.on_set = true;
+    divisor.cover.cubes.push_back(
+        Cube{{chosen.first.positive ? CubeLit::kPos : CubeLit::kNeg,
+              chosen.second.positive ? CubeLit::kPos : CubeLit::kNeg}});
+
+    // Rewrite every covering cube: drop the pair's literals, AND in the
+    // divisor.  Coverage is decided before any mutation of the table.
+    for (BlifTable& table : model.tables) {
+      std::vector<std::size_t> rewrite;
+      for (std::size_t c = 0; c < table.cover.cubes.size(); ++c) {
+        if (covers_pair(table, table.cover.cubes[c], chosen)) {
+          rewrite.push_back(c);
+        }
+      }
+      if (rewrite.empty()) continue;
+
+      // Grow the table by one input column for the divisor.
+      table.inputs.push_back(divisor.output);
+      table.cover.num_inputs = table.inputs.size();
+      for (Cube& cube : table.cover.cubes) {
+        cube.lits.push_back(CubeLit::kDontCare);
+      }
+      for (const std::size_t c : rewrite) {
+        Cube& cube = table.cover.cubes[c];
+        for (std::size_t v = 0; v + 1 < table.inputs.size(); ++v) {
+          const bool is_first = table.inputs[v] == chosen.first.signal &&
+                                cube.lits[v] == (chosen.first.positive
+                                                     ? CubeLit::kPos
+                                                     : CubeLit::kNeg);
+          const bool is_second = table.inputs[v] == chosen.second.signal &&
+                                 cube.lits[v] == (chosen.second.positive
+                                                      ? CubeLit::kPos
+                                                      : CubeLit::kNeg);
+          if (is_first || is_second) cube.lits[v] = CubeLit::kDontCare;
+        }
+        cube.lits.back() = CubeLit::kPos;
+      }
+    }
+
+    model.tables.push_back(std::move(divisor));
+    ++stats.divisors_extracted;
+  }
+
+  stats.literals_after = model_literals(model);
+  return stats;
+}
+
+}  // namespace soidom

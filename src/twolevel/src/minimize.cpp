@@ -1,0 +1,257 @@
+#include "soidom/twolevel/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/twolevel/cube_ops.hpp"
+
+namespace soidom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Quine–McCluskey (small covers)
+// ---------------------------------------------------------------------------
+
+/// Cube as (value, mask) over the low num_inputs bits: mask bit set means
+/// the variable is a care literal; value holds the required phase.
+struct QmCube {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;
+  friend auto operator<=>(const QmCube&, const QmCube&) = default;
+};
+
+Cube to_cube(const QmCube& q, std::size_t num_inputs) {
+  Cube c;
+  c.lits.resize(num_inputs, CubeLit::kDontCare);
+  for (std::size_t v = 0; v < num_inputs; ++v) {
+    if ((q.mask >> v) & 1) {
+      c.lits[v] = ((q.value >> v) & 1) ? CubeLit::kPos : CubeLit::kNeg;
+    }
+  }
+  return c;
+}
+
+std::vector<Cube> quine_mccluskey(const std::vector<Cube>& cubes,
+                                  std::size_t num_inputs) {
+  SOIDOM_ASSERT(num_inputs <= 20);
+  const std::uint32_t space = 1u << num_inputs;
+  const std::uint32_t full_mask = space - 1;
+
+  // Enumerate on-set minterms.
+  std::vector<std::uint32_t> minterms;
+  for (std::uint32_t m = 0; m < space; ++m) {
+    std::vector<bool> assignment(num_inputs);
+    for (std::size_t v = 0; v < num_inputs; ++v) {
+      assignment[v] = ((m >> v) & 1) != 0;
+    }
+    const bool on = std::any_of(cubes.begin(), cubes.end(), [&](const Cube& c) {
+      return c.matches(assignment);
+    });
+    if (on) minterms.push_back(m);
+  }
+  if (minterms.empty()) return {};
+  if (minterms.size() == space) {
+    Cube universal;
+    universal.lits.resize(num_inputs, CubeLit::kDontCare);
+    return {universal};
+  }
+
+  // Iteratively merge implicants differing in exactly one care bit.
+  std::set<QmCube> current;
+  for (const std::uint32_t m : minterms) current.insert({m, full_mask});
+  std::set<QmCube> primes;
+  while (!current.empty()) {
+    std::set<QmCube> next;
+    std::set<QmCube> merged;
+    for (auto it = current.begin(); it != current.end(); ++it) {
+      for (auto jt = std::next(it); jt != current.end(); ++jt) {
+        if (it->mask != jt->mask) continue;
+        const std::uint32_t diff = it->value ^ jt->value;
+        if (__builtin_popcount(diff) != 1) continue;
+        next.insert({it->value & ~diff, it->mask & ~diff});
+        merged.insert(*it);
+        merged.insert(*jt);
+      }
+    }
+    for (const QmCube& q : current) {
+      if (!merged.contains(q)) primes.insert(q);
+    }
+    current = std::move(next);
+  }
+
+  // Essential primes first, then greedy set cover.
+  const std::vector<QmCube> prime_list(primes.begin(), primes.end());
+  auto covers = [&](const QmCube& p, std::uint32_t m) {
+    return (m & p.mask) == (p.value & p.mask);
+  };
+  std::vector<bool> covered(minterms.size(), false);
+  std::vector<bool> selected(prime_list.size(), false);
+
+  for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+    int owner = -1;
+    for (std::size_t pi = 0; pi < prime_list.size(); ++pi) {
+      if (covers(prime_list[pi], minterms[mi])) {
+        if (owner >= 0) {
+          owner = -2;  // more than one prime covers it
+          break;
+        }
+        owner = static_cast<int>(pi);
+      }
+    }
+    if (owner >= 0) selected[static_cast<std::size_t>(owner)] = true;
+  }
+  for (std::size_t pi = 0; pi < prime_list.size(); ++pi) {
+    if (!selected[pi]) continue;
+    for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+      if (covers(prime_list[pi], minterms[mi])) covered[mi] = true;
+    }
+  }
+  while (true) {
+    // Greedy: pick the prime covering the most uncovered minterms, break
+    // ties toward fewer literals (larger cube).
+    int best = -1;
+    int best_gain = 0;
+    int best_lits = 0;
+    for (std::size_t pi = 0; pi < prime_list.size(); ++pi) {
+      if (selected[pi]) continue;
+      int gain = 0;
+      for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+        if (!covered[mi] && covers(prime_list[pi], minterms[mi])) ++gain;
+      }
+      const int lits = __builtin_popcount(prime_list[pi].mask);
+      if (gain > best_gain || (gain == best_gain && gain > 0 && lits < best_lits)) {
+        best = static_cast<int>(pi);
+        best_gain = gain;
+        best_lits = lits;
+      }
+    }
+    if (best < 0) break;
+    selected[static_cast<std::size_t>(best)] = true;
+    for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+      if (covers(prime_list[static_cast<std::size_t>(best)], minterms[mi])) {
+        covered[mi] = true;
+      }
+    }
+  }
+
+  std::vector<Cube> out;
+  for (std::size_t pi = 0; pi < prime_list.size(); ++pi) {
+    if (selected[pi]) out.push_back(to_cube(prime_list[pi], num_inputs));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// espresso-lite (wide covers)
+// ---------------------------------------------------------------------------
+
+/// EXPAND: remove literals whose removal keeps the cube inside the cover.
+bool expand_pass(std::vector<Cube>& cubes, std::size_t num_inputs) {
+  bool changed = false;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    for (std::size_t v = 0; v < num_inputs; ++v) {
+      if (cubes[i].lits[v] == CubeLit::kDontCare) continue;
+      Cube expanded = cubes[i];
+      expanded.lits[v] = CubeLit::kDontCare;
+      if (cover_contains_cube(cubes, num_inputs, expanded)) {
+        cubes[i] = std::move(expanded);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+/// IRREDUNDANT: drop cubes covered by the remaining cubes.
+bool irredundant_pass(std::vector<Cube>& cubes, std::size_t num_inputs) {
+  bool changed = false;
+  for (std::size_t i = 0; i < cubes.size();) {
+    std::vector<Cube> rest;
+    rest.reserve(cubes.size() - 1);
+    for (std::size_t j = 0; j < cubes.size(); ++j) {
+      if (j != i) rest.push_back(cubes[j]);
+    }
+    if (cover_contains_cube(rest, num_inputs, cubes[i])) {
+      cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(i));
+      changed = true;
+    } else {
+      ++i;
+    }
+  }
+  return changed;
+}
+
+std::vector<Cube> espresso_lite(std::vector<Cube> cubes,
+                                std::size_t num_inputs, int max_iterations) {
+  // Fast single-cube containment sweep first.
+  for (std::size_t i = 0; i < cubes.size();) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes.size(); ++j) {
+      if (i != j && cube_contains(cubes[j], cubes[i]) &&
+          !(cube_contains(cubes[i], cubes[j]) && i < j)) {
+        contained = true;
+        break;
+      }
+    }
+    if (contained) {
+      cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  for (int it = 0; it < max_iterations; ++it) {
+    const bool e = expand_pass(cubes, num_inputs);
+    const bool r = irredundant_pass(cubes, num_inputs);
+    if (!e && !r) break;
+  }
+  return cubes;
+}
+
+}  // namespace
+
+SopCover minimize(const SopCover& cover, const MinimizeOptions& options,
+                  MinimizeStats* stats) {
+  MinimizeStats local;
+  local.cubes_before = static_cast<int>(cover.cubes.size());
+  local.literals_before = literal_count(cover.cubes);
+
+  SopCover out = cover;
+  bool constant = false;
+  if (!cover.is_constant(constant)) {
+    if (cover.num_inputs <=
+        static_cast<std::size_t>(options.exact_input_limit)) {
+      out.cubes = quine_mccluskey(cover.cubes, cover.num_inputs);
+      if (out.cubes.size() == 1 && out.cubes.front().care_count() == 0) {
+        // Collapsed to constant 1 (of the cube OR).
+        out.cubes = {Cube{std::vector<CubeLit>(cover.num_inputs,
+                                               CubeLit::kDontCare)}};
+      }
+    } else {
+      out.cubes =
+          espresso_lite(cover.cubes, cover.num_inputs, options.max_iterations);
+    }
+  }
+
+  local.cubes_after = static_cast<int>(out.cubes.size());
+  local.literals_after = literal_count(out.cubes);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+MinimizeStats minimize_tables(BlifModel& model,
+                              const MinimizeOptions& options) {
+  MinimizeStats total;
+  for (BlifTable& table : model.tables) {
+    MinimizeStats one;
+    table.cover = minimize(table.cover, options, &one);
+    total.cubes_before += one.cubes_before;
+    total.cubes_after += one.cubes_after;
+    total.literals_before += one.literals_before;
+    total.literals_after += one.literals_after;
+  }
+  return total;
+}
+
+}  // namespace soidom

@@ -1,0 +1,64 @@
+/// \file unate.hpp
+/// Binate-to-unate network conversion by bubble pushing.
+///
+/// Domino logic is non-inverting, so the mapper's input must be a unate
+/// (inverter-free) network; inversions are allowed only at primary inputs
+/// and primary outputs (paper, section IV).  We implement the paper's
+/// "simple bubble pushing algorithm": inverters are pushed toward the
+/// primary inputs with DeMorgan's laws, duplicating logic wherever a signal
+/// is needed in both phases.  Memoization guarantees each (node, phase)
+/// pair is built at most once, so the result is at most double the input
+/// logic — the bound cited by the paper.
+#pragma once
+
+#include <vector>
+
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// Result of unate conversion.
+///
+/// The unate network's primary inputs represent *literals* of the original
+/// inputs: for original PI k, `pi_literals[k].pos` / `.neg` give the indices
+/// (into `net.pis()`) of the positive and negative literal leaves, -1 when
+/// that phase is never used.  Negative-literal leaves are named
+/// "<name>.bar".  Outputs appear in the same order as in the source
+/// network; `po_inverted[j]` is true when the unate network computes the
+/// complement of source output j (the inversion is realized for free by
+/// output phase assignment in a domino implementation).
+struct UnateResult {
+  Network net;
+
+  struct Literals {
+    int pos = -1;
+    int neg = -1;
+  };
+  std::vector<Literals> pi_literals;  ///< indexed by source PI position
+  std::vector<bool> po_inverted;      ///< indexed by source output position
+
+  /// Gate-count growth factor vs. the source network (>= 1.0; <= 2.0).
+  double duplication_ratio = 1.0;
+};
+
+/// How primary-output phases are chosen during conversion.
+enum class PhaseAssignment : std::uint8_t {
+  /// Every output is built in positive phase (inverter chains at the PO
+  /// are still absorbed into the phase record).  This is the paper's
+  /// "simple bubble pushing algorithm".
+  kPositive,
+  /// Greedy output phase assignment in the spirit of the paper's
+  /// reference [22] (Puri, Bjorksten & Rosser, ICCAD'96): since a domino
+  /// implementation realizes PO inversions for free, each output may be
+  /// built in whichever phase shares more logic with what previous
+  /// outputs already built.  Outputs are processed in descending cone
+  /// size; for each, the new-gate count of both phases is measured
+  /// against the shared memo and the cheaper phase is committed.
+  kGreedyMinDuplication,
+};
+
+/// Convert `input` (any AND/OR/INV/BUF network) into a unate network.
+UnateResult make_unate(const Network& input,
+                       PhaseAssignment phases = PhaseAssignment::kPositive);
+
+}  // namespace soidom

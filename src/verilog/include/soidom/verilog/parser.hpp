@@ -1,0 +1,37 @@
+/// \file parser.hpp
+/// A structural Verilog front end (combinational subset).
+///
+/// Accepted language — the dialect export_verilog() emits plus the common
+/// hand-written equivalents:
+///
+///   module NAME ( <ansi or classic port list> );
+///     input  [msb:lsb]? a, b, ...;      // classic-style declarations
+///     output [msb:lsb]? y, ...;
+///     wire   [msb:lsb]? t, ...;
+///     wire t = <expr>;                  // declaration with initializer
+///     assign y = <expr>;
+///   endmodule
+///
+///   <expr> := | ^ & over ~, parentheses, identifiers, bit-selects
+///             (sig[3]), and the literals 1'b0 / 1'b1.
+///
+/// Vectors are expanded to per-bit signals named "name[i]".  Sequential
+/// constructs (always, reg), instances and multi-bit expressions are
+/// rejected with a line-numbered soidom::Error, matching the library's
+/// combinational scope.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// Parse Verilog text into a logic network (PIs/POs in declaration order).
+Network parse_verilog(std::string_view text);
+
+/// Parse a Verilog file.
+Network parse_verilog_file(const std::string& path);
+
+}  // namespace soidom

@@ -1,0 +1,480 @@
+#include "soidom/verilog/parser.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/base/strings.hpp"
+#include "soidom/network/builder.hpp"
+
+namespace soidom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw Error(format("Verilog parse error at line %d: %s", line, what.c_str()));
+}
+
+std::vector<Token> lex(std::string_view text) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  auto peek = [&](std::size_t off = 0) {
+    return i + off < text.size() ? text[i + off] : '\0';
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+    } else if (c == '/' && peek(1) == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= text.size()) fail(line, "unterminated block comment");
+      i += 2;
+    } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+               c == '\\') {
+      std::size_t j = i + (c == '\\' ? 1 : 0);
+      const std::size_t start = j;
+      auto ident_char = [&](char ch) {
+        return (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+               (ch >= '0' && ch <= '9') || ch == '_' || ch == '$';
+      };
+      while (j < text.size() && ident_char(text[j])) ++j;
+      out.push_back({Token::Kind::kIdent,
+                     std::string(text.substr(start, j - start)), line});
+      i = j;
+    } else if (c >= '0' && c <= '9') {
+      // Plain decimal, or sized binary literal like 1'b0.
+      std::size_t j = i;
+      while (j < text.size() && text[j] >= '0' && text[j] <= '9') ++j;
+      if (j < text.size() && text[j] == '\'') {
+        j += 1;
+        if (j < text.size() && (text[j] == 'b' || text[j] == 'B')) {
+          ++j;
+          const std::size_t vstart = j;
+          while (j < text.size() && (text[j] == '0' || text[j] == '1')) ++j;
+          if (j == vstart) fail(line, "malformed binary literal");
+          out.push_back({Token::Kind::kNumber,
+                         "'b" + std::string(text.substr(vstart, j - vstart)),
+                         line});
+          i = j;
+          continue;
+        }
+        fail(line, "only binary ('b) literals are supported");
+      }
+      out.push_back(
+          {Token::Kind::kNumber, std::string(text.substr(i, j - i)), line});
+      i = j;
+    } else if (std::string_view("()[]:;,=~&|^").find(c) !=
+               std::string_view::npos) {
+      out.push_back({Token::Kind::kPunct, std::string(1, c), line});
+      ++i;
+    } else {
+      fail(line, format("unexpected character '%c'", c));
+    }
+  }
+  out.push_back({Token::Kind::kEnd, "", line});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+enum class SignalKind { kInput, kOutput, kWire };
+
+struct Signal {
+  SignalKind kind = SignalKind::kWire;
+  NodeId pi;                       ///< valid for inputs once created
+  std::vector<Token> expr;         ///< assigned expression (may be empty)
+  bool resolving = false;          ///< cycle detection
+  NodeId resolved;                 ///< memoized result
+  int declared_line = 0;
+};
+
+class VerilogParser {
+ public:
+  explicit VerilogParser(std::string_view text) : tokens_(lex(text)) {}
+
+  Network run() {
+    expect_ident("module");
+    module_name_ = expect(Token::Kind::kIdent).text;
+    parse_port_list();
+    while (!at_ident("endmodule")) {
+      parse_statement();
+    }
+    next();  // endmodule
+
+    // Classic-style ports must have received a direction declaration in
+    // the body (vectors expand, so accept name or name[...] matches).
+    for (const std::string& port : classic_ports_) {
+      const bool declared =
+          signals_.contains(port) ||
+          std::any_of(declaration_order_.begin(), declaration_order_.end(),
+                      [&](const std::string& name) {
+                        return name.size() > port.size() &&
+                               name.compare(0, port.size(), port) == 0 &&
+                               name[port.size()] == '[';
+                      });
+      if (!declared) {
+        fail(1, format("port '%s' has no input/output declaration",
+                       port.c_str()));
+      }
+    }
+
+    // Create PIs in declaration order, then resolve outputs in order.
+    for (const std::string& name : declaration_order_) {
+      Signal& sig = signals_.at(name);
+      if (sig.kind == SignalKind::kInput) {
+        sig.pi = builder_.add_pi(name);
+      }
+    }
+    for (const std::string& name : declaration_order_) {
+      if (signals_.at(name).kind == SignalKind::kOutput) {
+        builder_.add_output(resolve(name, signals_.at(name).declared_line),
+                            name);
+      }
+    }
+    return std::move(builder_).build();
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+  const Token& peek(std::size_t off = 0) const {
+    return tokens_[std::min(pos_ + off, tokens_.size() - 1)];
+  }
+  Token next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool at_punct(const char* p) const {
+    return peek().kind == Token::Kind::kPunct && peek().text == p;
+  }
+  bool at_ident(const char* name) const {
+    return peek().kind == Token::Kind::kIdent && peek().text == name;
+  }
+  Token expect(Token::Kind kind) {
+    if (peek().kind != kind) {
+      fail(peek().line, format("unexpected token '%s'", peek().text.c_str()));
+    }
+    return next();
+  }
+  void expect_punct(const char* p) {
+    if (!at_punct(p)) {
+      fail(peek().line,
+           format("expected '%s', got '%s'", p, peek().text.c_str()));
+    }
+    next();
+  }
+  void expect_ident(const char* name) {
+    if (!at_ident(name)) {
+      fail(peek().line,
+           format("expected '%s', got '%s'", name, peek().text.c_str()));
+    }
+    next();
+  }
+
+  // --- declarations ---------------------------------------------------------
+  static bool is_direction(const std::string& word) {
+    return word == "input" || word == "output" || word == "wire";
+  }
+
+  SignalKind kind_of(const std::string& word, int line) const {
+    if (word == "input") return SignalKind::kInput;
+    if (word == "output") return SignalKind::kOutput;
+    if (word == "wire") return SignalKind::kWire;
+    fail(line, format("unsupported construct '%s' (combinational structural "
+                      "subset only)",
+                      word.c_str()));
+  }
+
+  /// Parses an optional [msb:lsb] range; returns {msb, lsb} or {-1, -1}.
+  std::pair<int, int> parse_range() {
+    if (!at_punct("[")) return {-1, -1};
+    next();
+    const int msb = std::stoi(expect(Token::Kind::kNumber).text);
+    expect_punct(":");
+    const int lsb = std::stoi(expect(Token::Kind::kNumber).text);
+    expect_punct("]");
+    return {msb, lsb};
+  }
+
+  void declare(const std::string& base, SignalKind kind,
+               std::pair<int, int> range, int line) {
+    auto add = [&](const std::string& name) {
+      if (const auto it = signals_.find(name); it != signals_.end()) {
+        // Re-declaration is allowed only to refine a port's direction
+        // (classic style lists ports twice).
+        if (it->second.kind == SignalKind::kWire || kind == SignalKind::kWire) {
+          if (kind != SignalKind::kWire) it->second.kind = kind;
+          return;
+        }
+        fail(line, format("signal '%s' declared twice", name.c_str()));
+      }
+      Signal sig;
+      sig.kind = kind;
+      sig.declared_line = line;
+      signals_.emplace(name, std::move(sig));
+      declaration_order_.push_back(name);
+    };
+    if (range.first < 0) {
+      add(base);
+      return;
+    }
+    const int lo = std::min(range.first, range.second);
+    const int hi = std::max(range.first, range.second);
+    for (int b = lo; b <= hi; ++b) {
+      add(base + "[" + std::to_string(b) + "]");
+    }
+  }
+
+  void parse_port_list() {
+    expect_punct("(");
+    while (!at_punct(")")) {
+      if (peek().kind == Token::Kind::kIdent && is_direction(peek().text)) {
+        // ANSI style: direction [range] name
+        const std::string dir = next().text;
+        if (at_ident("wire")) next();  // "input wire a"
+        const auto range = parse_range();
+        const Token name = expect(Token::Kind::kIdent);
+        declare(name.text, kind_of(dir, name.line), range, name.line);
+      } else {
+        // Classic style: bare name, direction comes later.
+        const Token name = expect(Token::Kind::kIdent);
+        classic_ports_.push_back(name.text);
+      }
+      if (at_punct(",")) next();
+    }
+    expect_punct(")");
+    expect_punct(";");
+  }
+
+  void parse_statement() {
+    const Token head = expect(Token::Kind::kIdent);
+    if (head.text == "assign") {
+      const std::string target = parse_signal_reference();
+      expect_punct("=");
+      assign_expression(target, head.line);
+      expect_punct(";");
+      return;
+    }
+    if (head.text == "input" || head.text == "output" || head.text == "wire") {
+      const SignalKind kind = kind_of(head.text, head.line);
+      if (at_ident("wire")) next();  // "output wire y"
+      const auto range = parse_range();
+      bool first = true;
+      std::string last_name;
+      while (true) {
+        const Token name = expect(Token::Kind::kIdent);
+        declare(name.text, kind, range, name.line);
+        last_name = name.text;
+        if (at_punct(",")) {
+          next();
+          first = false;
+          continue;
+        }
+        break;
+      }
+      if (at_punct("=")) {
+        // "wire t = expr;" — single-name declaration with initializer.
+        if (!first || range.first >= 0) {
+          fail(peek().line, "initializer only allowed on a scalar wire");
+        }
+        next();
+        assign_expression(last_name, head.line);
+      }
+      expect_punct(";");
+      return;
+    }
+    fail(head.line,
+         format("unsupported construct '%s' (combinational structural subset "
+                "only)",
+                head.text.c_str()));
+  }
+
+  /// Reads "name" or "name[3]" and returns the expanded signal name.
+  std::string parse_signal_reference() {
+    const Token name = expect(Token::Kind::kIdent);
+    if (at_punct("[")) {
+      next();
+      const Token index = expect(Token::Kind::kNumber);
+      expect_punct("]");
+      return name.text + "[" + index.text + "]";
+    }
+    return name.text;
+  }
+
+  /// Captures the expression token span for `target` up to the ';'.
+  void assign_expression(const std::string& target, int line) {
+    const auto it = signals_.find(target);
+    if (it == signals_.end()) {
+      fail(line, format("assignment to undeclared signal '%s'",
+                        target.c_str()));
+    }
+    if (it->second.kind == SignalKind::kInput) {
+      fail(line, format("assignment to input '%s'", target.c_str()));
+    }
+    if (!it->second.expr.empty()) {
+      fail(line, format("signal '%s' assigned twice", target.c_str()));
+    }
+    std::vector<Token> expr;
+    int depth = 0;
+    while (!(at_punct(";") && depth == 0)) {
+      if (peek().kind == Token::Kind::kEnd) fail(line, "unterminated assign");
+      if (at_punct("(")) ++depth;
+      if (at_punct(")")) --depth;
+      expr.push_back(next());
+    }
+    if (expr.empty()) fail(line, "empty expression");
+    expr.push_back({Token::Kind::kEnd, "", line});
+    it->second.expr = std::move(expr);
+  }
+
+  // --- resolution -----------------------------------------------------------
+
+  NodeId resolve(const std::string& name, int use_line) {
+    const auto it = signals_.find(name);
+    if (it == signals_.end()) {
+      fail(use_line, format("undeclared signal '%s'", name.c_str()));
+    }
+    Signal& sig = it->second;
+    if (sig.kind == SignalKind::kInput) return sig.pi;
+    if (sig.resolved.valid()) return sig.resolved;
+    if (sig.resolving) {
+      fail(use_line, format("combinational cycle through '%s'", name.c_str()));
+    }
+    if (sig.expr.empty()) {
+      fail(sig.declared_line,
+           format("signal '%s' is never assigned", name.c_str()));
+    }
+    sig.resolving = true;
+    std::size_t pos = 0;
+    const NodeId value = parse_or(sig.expr, pos);
+    if (sig.expr[pos].kind != Token::Kind::kEnd) {
+      fail(sig.expr[pos].line,
+           format("trailing tokens in expression for '%s'", name.c_str()));
+    }
+    sig.resolving = false;
+    sig.resolved = value;
+    return value;
+  }
+
+  // Precedence (loosest to tightest): |  ^  &  ~/primary.
+  NodeId parse_or(const std::vector<Token>& t, std::size_t& pos) {
+    NodeId acc = parse_xor(t, pos);
+    while (t[pos].kind == Token::Kind::kPunct && t[pos].text == "|") {
+      ++pos;
+      acc = builder_.add_or(acc, parse_xor(t, pos));
+    }
+    return acc;
+  }
+
+  NodeId parse_xor(const std::vector<Token>& t, std::size_t& pos) {
+    NodeId acc = parse_and(t, pos);
+    while (t[pos].kind == Token::Kind::kPunct && t[pos].text == "^") {
+      ++pos;
+      const NodeId rhs = parse_and(t, pos);
+      acc = builder_.add_or(builder_.add_and(acc, builder_.add_inv(rhs)),
+                            builder_.add_and(builder_.add_inv(acc), rhs));
+    }
+    return acc;
+  }
+
+  NodeId parse_and(const std::vector<Token>& t, std::size_t& pos) {
+    NodeId acc = parse_unary(t, pos);
+    while (t[pos].kind == Token::Kind::kPunct && t[pos].text == "&") {
+      ++pos;
+      acc = builder_.add_and(acc, parse_unary(t, pos));
+    }
+    return acc;
+  }
+
+  NodeId parse_unary(const std::vector<Token>& t, std::size_t& pos) {
+    if (t[pos].kind == Token::Kind::kPunct && t[pos].text == "~") {
+      ++pos;
+      return builder_.add_inv(parse_unary(t, pos));
+    }
+    return parse_primary(t, pos);
+  }
+
+  NodeId parse_primary(const std::vector<Token>& t, std::size_t& pos) {
+    const Token& tok = t[pos];
+    if (tok.kind == Token::Kind::kPunct && tok.text == "(") {
+      ++pos;
+      const NodeId inner = parse_or(t, pos);
+      if (!(t[pos].kind == Token::Kind::kPunct && t[pos].text == ")")) {
+        fail(t[pos].line, "expected ')'");
+      }
+      ++pos;
+      return inner;
+    }
+    if (tok.kind == Token::Kind::kNumber) {
+      ++pos;
+      if (tok.text == "'b0") return builder_.const0();
+      if (tok.text == "'b1") return builder_.const1();
+      fail(tok.line, format("unsupported literal '%s' (only 1-bit binary)",
+                            tok.text.c_str()));
+    }
+    if (tok.kind == Token::Kind::kIdent) {
+      ++pos;
+      std::string name = tok.text;
+      if (t[pos].kind == Token::Kind::kPunct && t[pos].text == "[") {
+        ++pos;
+        if (t[pos].kind != Token::Kind::kNumber) {
+          fail(t[pos].line, "expected bit index");
+        }
+        name += "[" + t[pos].text + "]";
+        ++pos;
+        if (!(t[pos].kind == Token::Kind::kPunct && t[pos].text == "]")) {
+          fail(t[pos].line, "expected ']'");
+        }
+        ++pos;
+      }
+      return resolve(name, tok.line);
+    }
+    fail(tok.line, format("unexpected token '%s' in expression",
+                          tok.text.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string module_name_;
+  NetworkBuilder builder_;
+  std::unordered_map<std::string, Signal> signals_;
+  std::vector<std::string> declaration_order_;
+  std::vector<std::string> classic_ports_;
+};
+
+}  // namespace
+
+Network parse_verilog(std::string_view text) {
+  return VerilogParser(text).run();
+}
+
+Network parse_verilog_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error(format("cannot open Verilog file '%s'", path.c_str()));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_verilog(ss.str());
+}
+
+}  // namespace soidom

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/base/rng.hpp"
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(21);
+  Rng fork = a.fork();
+  EXPECT_NE(a.next_u64(), fork.next_u64());
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a b\tc");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitCollapsesRuns) {
+  const auto parts = split("  a   b  ");
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(Strings, SplitEmpty) { EXPECT_TRUE(split("   ").empty()); }
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \r\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with(".names a b", ".names"));
+  EXPECT_FALSE(starts_with(".name", ".names"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(53, 100), "53.00");
+  EXPECT_EQ(percent(1, 3), "33.33");
+  EXPECT_EQ(percent(5, 0), "0.00");
+}
+
+TEST(Contracts, RequireThrows) {
+  EXPECT_THROW(SOIDOM_REQUIRE(false, "boom"), Error);
+  EXPECT_NO_THROW(SOIDOM_REQUIRE(true, "fine"));
+}
+
+TEST(Contracts, ErrorMessagePreserved) {
+  try {
+    SOIDOM_REQUIRE(false, "specific message");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+}  // namespace
+}  // namespace soidom

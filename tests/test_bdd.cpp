@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "soidom/bdd/bdd.hpp"
+#include "soidom/bdd/equivalence.hpp"
+#include "soidom/domino/exact.hpp"
+#include "soidom/decomp/decompose.hpp"
+#include "soidom/mapper/mapper.hpp"
+#include "soidom/network/transform.hpp"
+#include "soidom/sim/sim.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace soidom {
+namespace {
+
+TEST(Bdd, Terminals) {
+  BddManager m(2);
+  EXPECT_TRUE(m.is_const(BddManager::kFalse));
+  EXPECT_TRUE(m.is_const(BddManager::kTrue));
+  EXPECT_FALSE(m.eval(BddManager::kFalse, {false, false}));
+  EXPECT_TRUE(m.eval(BddManager::kTrue, {false, false}));
+}
+
+TEST(Bdd, VarAndNvar) {
+  BddManager m(2);
+  const auto x = m.var(0);
+  const auto nx = m.nvar(0);
+  EXPECT_TRUE(m.eval(x, {true, false}));
+  EXPECT_FALSE(m.eval(x, {false, false}));
+  EXPECT_FALSE(m.eval(nx, {true, false}));
+  EXPECT_EQ(m.negate(x), nx);  // canonicity
+}
+
+TEST(Bdd, CanonicityMergesEquivalentFunctions) {
+  BddManager m(3);
+  // (x & y) | (x & z) == x & (y | z)
+  const auto lhs = m.apply_or(m.apply_and(m.var(0), m.var(1)),
+                              m.apply_and(m.var(0), m.var(2)));
+  const auto rhs = m.apply_and(m.var(0), m.apply_or(m.var(1), m.var(2)));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Bdd, OperatorsTruthTables) {
+  BddManager m(2);
+  const auto x = m.var(0);
+  const auto y = m.var(1);
+  const auto fand = m.apply_and(x, y);
+  const auto forr = m.apply_or(x, y);
+  const auto fxor = m.apply_xor(x, y);
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      EXPECT_EQ(m.eval(fand, {a, b}), a && b);
+      EXPECT_EQ(m.eval(forr, {a, b}), a || b);
+      EXPECT_EQ(m.eval(fxor, {a, b}), a != b);
+    }
+  }
+}
+
+TEST(Bdd, SelfOperations) {
+  BddManager m(1);
+  const auto x = m.var(0);
+  EXPECT_EQ(m.apply_and(x, x), x);
+  EXPECT_EQ(m.apply_or(x, x), x);
+  EXPECT_EQ(m.apply_xor(x, x), BddManager::kFalse);
+  EXPECT_EQ(m.apply_and(x, m.negate(x)), BddManager::kFalse);
+  EXPECT_EQ(m.apply_or(x, m.negate(x)), BddManager::kTrue);
+}
+
+TEST(Bdd, SatCount) {
+  BddManager m(3);
+  EXPECT_DOUBLE_EQ(m.sat_count(BddManager::kTrue), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(BddManager::kFalse), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(0)), 4.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.apply_and(m.var(0), m.var(2))), 2.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.apply_xor(m.var(1), m.var(2))), 4.0);
+}
+
+TEST(Bdd, AnySat) {
+  BddManager m(3);
+  EXPECT_FALSE(m.any_sat(BddManager::kFalse).has_value());
+  const auto f = m.apply_and(m.var(0), m.nvar(2));
+  const auto sat = m.any_sat(f);
+  ASSERT_TRUE(sat.has_value());
+  EXPECT_TRUE(m.eval(f, *sat));
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  BddManager m(40, /*node_limit=*/64);
+  // A product chain grows linearly, an XOR chain also, but the limit of 64
+  // is hit quickly when building many distinct functions.
+  EXPECT_THROW(
+      {
+        auto f = BddManager::kTrue;
+        for (unsigned v = 0; v < 40; ++v) {
+          f = m.apply_xor(f, m.var(v));
+          // force distinct products too
+          m.apply_and(f, m.var((v + 1) % 40));
+        }
+      },
+      Error);
+}
+
+TEST(BddEquivalence, NetworkSelfEquivalence) {
+  const Network net = testing::full_adder_network();
+  EXPECT_EQ(equivalent_exact(net, net), std::optional<bool>(true));
+}
+
+TEST(BddEquivalence, DetectsInequivalence) {
+  NetworkBuilder b1;
+  const NodeId x1 = b1.add_pi("x");
+  const NodeId y1 = b1.add_pi("y");
+  b1.add_output(b1.add_and(x1, y1), "z");
+  NetworkBuilder b2;
+  const NodeId x2 = b2.add_pi("x");
+  const NodeId y2 = b2.add_pi("y");
+  b2.add_output(b2.add_or(x2, y2), "z");
+  EXPECT_EQ(equivalent_exact(std::move(b1).build(), std::move(b2).build()),
+            std::optional<bool>(false));
+}
+
+TEST(BddEquivalence, AgreesWithSimulationOnRandomNetworks) {
+  for (const std::uint64_t seed : {10u, 20u, 30u, 40u}) {
+    const Network a = testing::random_network(8, 60, 4, seed);
+    const Network b = soidom::clone(a);
+    EXPECT_EQ(equivalent_exact(a, b), std::optional<bool>(true)) << seed;
+  }
+}
+
+TEST(BddEquivalence, MappedNetlistExact) {
+  for (const std::uint64_t seed : {3u, 5u, 7u}) {
+    const Network source = testing::random_network(10, 90, 5, seed);
+    const UnateResult unate = make_unate(source);
+    for (const MappingEngine engine :
+         {MappingEngine::kDominoMap, MappingEngine::kSoiDominoMap}) {
+      MapperOptions opts;
+      opts.engine = engine;
+      const MappingResult result = map_to_domino(unate, opts);
+      EXPECT_EQ(equivalent_exact(result.netlist, source),
+                std::optional<bool>(true))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(BddEquivalence, MappedNetlistMismatchDetected) {
+  const Network source = testing::fig2_network();
+  const UnateResult unate = make_unate(source);
+  MappingResult result = map_to_domino(unate, MapperOptions{});
+  DominoNetlist broken;
+  for (const auto& in : result.netlist.inputs()) broken.add_input(in);
+  for (const auto& g : result.netlist.gates()) broken.add_gate(g);
+  auto o = result.netlist.outputs()[0];
+  o.inverted = !o.inverted;
+  broken.add_output(o);
+  EXPECT_EQ(equivalent_exact(broken, source), std::optional<bool>(false));
+}
+
+TEST(BddEquivalence, NodeLimitReturnsNullopt) {
+  // A 24-variable XOR ladder times a product ladder with a 100-node cap
+  // cannot complete.
+  NetworkBuilder b;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 24; ++i) pis.push_back(b.add_pi("x" + std::to_string(i)));
+  NodeId acc = pis[0];
+  for (std::size_t i = 1; i < pis.size(); ++i) {
+    acc = b.add_or(b.add_and(acc, b.add_inv(pis[i])),
+                   b.add_and(b.add_inv(acc), pis[i]));
+  }
+  b.add_output(acc, "z");
+  const Network net = std::move(b).build();
+  EXPECT_EQ(equivalent_exact(net, net, /*node_limit=*/100), std::nullopt);
+}
+
+}  // namespace
+}  // namespace soidom

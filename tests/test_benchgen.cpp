@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/benchgen/generators.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/sim/sim.hpp"
+
+namespace soidom {
+namespace {
+
+TEST(Generators, MuxTreeSelectsCorrectInput) {
+  const Network net = gen_mux_tree(3);  // 8 data + 3 select
+  ASSERT_EQ(net.pis().size(), 11u);
+  for (int sel = 0; sel < 8; ++sel) {
+    for (int data = 0; data < 8; ++data) {
+      std::vector<bool> in(11, false);
+      in[static_cast<std::size_t>(data)] = true;  // one-hot data
+      for (int k = 0; k < 3; ++k) in[8 + static_cast<std::size_t>(k)] = ((sel >> k) & 1) != 0;
+      EXPECT_EQ(evaluate(net, in)[0], data == sel) << sel << " " << data;
+    }
+  }
+}
+
+TEST(Generators, RippleAdderAddsCorrectly) {
+  const Network net = gen_ripple_adder(4);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (int cin = 0; cin < 2; ++cin) {
+        std::vector<bool> in;
+        for (int i = 0; i < 4; ++i) in.push_back(((a >> i) & 1) != 0);
+        for (int i = 0; i < 4; ++i) in.push_back(((b >> i) & 1) != 0);
+        in.push_back(cin != 0);
+        const auto out = evaluate(net, in);
+        const int want = a + b + cin;
+        for (int i = 0; i < 4; ++i) {
+          EXPECT_EQ(out[static_cast<std::size_t>(i)], ((want >> i) & 1) != 0);
+        }
+        EXPECT_EQ(out[4], ((want >> 4) & 1) != 0);  // cout
+      }
+    }
+  }
+}
+
+TEST(Generators, IncrementerCountsUp) {
+  const Network net = gen_incrementer(4);
+  for (int q = 0; q < 16; ++q) {
+    for (int en = 0; en < 2; ++en) {
+      std::vector<bool> in;
+      for (int i = 0; i < 4; ++i) in.push_back(((q >> i) & 1) != 0);
+      in.push_back(en != 0);
+      const auto out = evaluate(net, in);
+      const int want = q + en;
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], ((want >> i) & 1) != 0);
+      }
+      EXPECT_EQ(out[4], want >= 16);           // carry out
+      EXPECT_EQ(out[5], q == 15);              // terminal count
+    }
+  }
+}
+
+TEST(Generators, SymmetricMatchesPopcount) {
+  const std::vector<int> accepted = {1, 3};
+  const Network net = gen_symmetric(5, accepted);
+  for (int v = 0; v < 32; ++v) {
+    std::vector<bool> in;
+    int ones = 0;
+    for (int i = 0; i < 5; ++i) {
+      const bool bit = ((v >> i) & 1) != 0;
+      in.push_back(bit);
+      ones += bit ? 1 : 0;
+    }
+    const bool want =
+        std::find(accepted.begin(), accepted.end(), ones) != accepted.end();
+    EXPECT_EQ(evaluate(net, in)[0], want) << v;
+  }
+}
+
+TEST(Generators, XorTreeParity) {
+  const Network net = gen_xor_tree(8, 4, 5, 99);
+  // Every output must be a pure parity function: flipping any input in its
+  // support flips the output; inputs outside leave it unchanged.
+  Rng rng(4);
+  const auto base_words = random_pi_words(8, rng);
+  const auto base = simulate_outputs(net, base_words);
+  for (std::size_t k = 0; k < 8; ++k) {
+    auto words = base_words;
+    words[k] = ~words[k];
+    const auto flipped = simulate_outputs(net, words);
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      const SimWord diff = base[j] ^ flipped[j];
+      EXPECT_TRUE(diff == 0 || diff == ~SimWord{0})
+          << "output " << j << " not parity in input " << k;
+    }
+  }
+}
+
+TEST(Generators, PriorityGrantsHighestEligible) {
+  const Network net = gen_priority(4);  // r0..r3, m0..m3
+  std::vector<bool> in(8, false);
+  in[1] = in[2] = true;  // r1, r2 requesting
+  in[4] = in[5] = in[6] = in[7] = true;  // all unmasked
+  const auto out = evaluate(net, in);
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);   // r1 wins (highest priority eligible)
+  EXPECT_FALSE(out[2]);
+  EXPECT_FALSE(out[3]);
+  EXPECT_TRUE(out[4]);   // any
+  // Mask r1: grant moves to r2.
+  in[5] = false;
+  const auto out2 = evaluate(net, in);
+  EXPECT_FALSE(out2[1]);
+  EXPECT_TRUE(out2[2]);
+}
+
+TEST(Generators, BarrelRotatorRotates) {
+  const Network net = gen_barrel_rotator(8, 3);
+  for (int amount = 0; amount < 8; ++amount) {
+    std::vector<bool> in(11, false);
+    in[2] = true;  // single hot data bit at position 2
+    for (int k = 0; k < 3; ++k) in[8 + static_cast<std::size_t>(k)] = ((amount >> k) & 1) != 0;
+    const auto out = evaluate(net, in);
+    for (int i = 0; i < 8; ++i) {
+      // Layer k maps out_i = in_{(i+shift) mod w}; a rotate by `amount`
+      // moves the hot bit from 2 to (2 - amount) mod 8.
+      const bool want = i == ((2 - amount) % 8 + 8) % 8;
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], want) << amount << " " << i;
+    }
+  }
+}
+
+TEST(Generators, SpnDeterministicAndSeedSensitive) {
+  const Network a = gen_spn(12, 2, 1);
+  const Network b = gen_spn(12, 2, 1);
+  const Network c = gen_spn(12, 2, 2);
+  Rng rng(6);
+  EXPECT_TRUE(equivalent_by_simulation(a, b, 4, rng));
+  EXPECT_FALSE(equivalent_by_simulation(a, c, 8, rng));
+}
+
+TEST(Generators, AluAddsAndLogics) {
+  const Network net = gen_alu_like(4, 7);
+  // inputs: a0..3, b0..3, op0, op1, cin
+  auto run = [&](int a, int b, int op, bool cin) {
+    std::vector<bool> in;
+    for (int i = 0; i < 4; ++i) in.push_back(((a >> i) & 1) != 0);
+    for (int i = 0; i < 4; ++i) in.push_back(((b >> i) & 1) != 0);
+    in.push_back((op & 1) != 0);
+    in.push_back((op & 2) != 0);
+    in.push_back(cin);
+    const auto out = evaluate(net, in);
+    int f = 0;
+    for (int i = 0; i < 4; ++i) f |= out[static_cast<std::size_t>(i)] ? 1 << i : 0;
+    return f;
+  };
+  EXPECT_EQ(run(5, 6, 0, false), (5 + 6) & 15);  // add
+  EXPECT_EQ(run(5, 6, 1, false), 5 & 6);         // and
+  EXPECT_EQ(run(5, 6, 2, false), 5 | 6);         // or
+  EXPECT_EQ(run(5, 6, 3, false), 5 ^ 6);         // xor
+  EXPECT_EQ(run(15, 1, 0, true), (15 + 1 + 1) & 15);
+}
+
+
+TEST(Generators, MultiplierMultiplies) {
+  const Network net = gen_multiplier(4);
+  for (int a = 0; a < 16; ++a) {
+    for (int b2 = 0; b2 < 16; ++b2) {
+      std::vector<bool> in;
+      for (int i = 0; i < 4; ++i) in.push_back(((a >> i) & 1) != 0);
+      for (int i = 0; i < 4; ++i) in.push_back(((b2 >> i) & 1) != 0);
+      const auto out = evaluate(net, in);
+      const int want = a * b2;
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], ((want >> i) & 1) != 0)
+            << a << "*" << b2 << " bit " << i;
+      }
+    }
+  }
+}
+
+TEST(Generators, DecoderIsOneHot) {
+  const Network net = gen_decoder(3);
+  for (int code = 0; code < 8; ++code) {
+    for (const bool en : {false, true}) {
+      std::vector<bool> in;
+      for (int k = 0; k < 3; ++k) in.push_back(((code >> k) & 1) != 0);
+      in.push_back(en);
+      const auto out = evaluate(net, in);
+      for (int o = 0; o < 8; ++o) {
+        EXPECT_EQ(out[static_cast<std::size_t>(o)], en && o == code);
+      }
+    }
+  }
+}
+
+TEST(Generators, BadShapesThrow) {
+  EXPECT_THROW(gen_mux_tree(0), Error);
+  EXPECT_THROW(gen_ripple_adder(0), Error);
+  EXPECT_THROW(gen_symmetric(0, {1}), Error);
+  EXPECT_THROW(gen_xor_tree(4, 2, 9, 1), Error);
+  EXPECT_THROW(gen_spn(8, 1, 1), Error);  // width not multiple of 3
+  EXPECT_THROW(gen_two_level(1, 1, 1, 1, 1), Error);
+}
+
+TEST(Registry, AllNamesBuildAndAreDeterministic) {
+  for (const std::string& name : benchmark_names()) {
+    const Network a = build_benchmark(name);
+    const Network b = build_benchmark(name);
+    EXPECT_GT(a.stats().num_gates(), 0u) << name;
+    EXPECT_GT(a.outputs().size(), 0u) << name;
+    EXPECT_EQ(a.size(), b.size()) << name;
+    Rng rng(1);
+    EXPECT_TRUE(equivalent_by_simulation(a, b, 2, rng)) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_FALSE(is_known_benchmark("nonexistent"));
+  EXPECT_THROW(build_benchmark("nonexistent"), Error);
+}
+
+TEST(Registry, TableListsAreRegistered) {
+  for (const auto& list : {table1_circuits(), table2_circuits(),
+                           table3_circuits(), table4_circuits()}) {
+    EXPECT_FALSE(list.empty());
+    std::set<std::string> seen;
+    for (const std::string& name : list) {
+      EXPECT_TRUE(is_known_benchmark(name)) << name;
+      EXPECT_TRUE(seen.insert(name).second) << "duplicate row " << name;
+    }
+  }
+  EXPECT_EQ(table1_circuits().size(), 18u);  // row counts as in the paper
+  EXPECT_EQ(table2_circuits().size(), 21u);
+  EXPECT_EQ(table3_circuits().size(), 27u);
+  EXPECT_EQ(table4_circuits().size(), 26u);
+}
+
+}  // namespace
+}  // namespace soidom

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "soidom/base/rng.hpp"
+#include "soidom/blif/blif.hpp"
+#include "soidom/decomp/decompose.hpp"
+#include "soidom/sim/sim.hpp"
+
+namespace soidom {
+namespace {
+
+/// Exhaustive (or random for wide inputs) cross-check of a decomposed
+/// network against the BLIF reference evaluator.
+void expect_matches_model(const BlifModel& model, const Network& net,
+                          int random_rounds = 64) {
+  const std::size_t n = model.inputs.size();
+  Rng rng(0xDECDEC);
+  const int exhaustive = n <= 10 ? (1 << n) : 0;
+  const int rounds = exhaustive ? exhaustive : random_rounds;
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<bool> in(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = exhaustive ? ((r >> i) & 1) != 0 : rng.chance(1, 2);
+    }
+    EXPECT_EQ(evaluate(model, in), evaluate(net, in));
+  }
+}
+
+TEST(Decompose, TwoInputNodesOnly) {
+  const BlifModel m = parse_blif(
+      ".model wide\n.inputs a b c d e\n.outputs z\n"
+      ".names a b c d e z\n11111 1\n00000 1\n.end\n");
+  const Network net = decompose(m);
+  for (std::uint32_t i = 2; i < net.size(); ++i) {
+    const Node& n = net.node(NodeId{i});
+    EXPECT_NE(n.kind, NodeKind::kBuf);
+    if (n.kind == NodeKind::kAnd || n.kind == NodeKind::kOr) {
+      EXPECT_TRUE(n.fanin0.valid());
+      EXPECT_TRUE(n.fanin1.valid());
+    }
+  }
+  expect_matches_model(m, net);
+}
+
+TEST(Decompose, OutOfOrderTables) {
+  // z's table appears before its fanin's table.
+  const BlifModel m = parse_blif(
+      ".model ooo\n.inputs a b\n.outputs z\n"
+      ".names t z\n0 1\n"
+      ".names a b t\n11 1\n.end\n");
+  expect_matches_model(m, decompose(m));
+}
+
+TEST(Decompose, OffSetCover) {
+  const BlifModel m = parse_blif(
+      ".model off\n.inputs a b c\n.outputs z\n"
+      ".names a b c z\n11- 0\n--1 0\n.end\n");
+  expect_matches_model(m, decompose(m));
+}
+
+TEST(Decompose, ConstantOutputs) {
+  const BlifModel m = parse_blif(
+      ".model k\n.inputs a\n.outputs one zero pass\n"
+      ".names one\n1\n.names zero\n"
+      ".names a pass\n1 1\n.end\n");
+  const Network net = decompose(m);
+  expect_matches_model(m, net);
+  EXPECT_EQ(net.outputs()[0].driver, kConst1Id);
+  EXPECT_EQ(net.outputs()[1].driver, kConst0Id);
+}
+
+TEST(Decompose, DontCareLiterals) {
+  const BlifModel m = parse_blif(
+      ".model dc\n.inputs a b c d\n.outputs z\n"
+      ".names a b c d z\n1--0 1\n-11- 1\n0--- 1\n.end\n");
+  expect_matches_model(m, decompose(m));
+}
+
+TEST(Decompose, ChainShapeDeepens) {
+  const BlifModel m = parse_blif(
+      ".model w\n.inputs a b c d e f g h\n.outputs z\n"
+      ".names a b c d e f g h z\n11111111 1\n.end\n");
+  DecomposeOptions balanced;
+  DecomposeOptions chain;
+  chain.shape = TreeShape::kChain;
+  const Network nb = decompose(m, balanced);
+  const Network nc = decompose(m, chain);
+  EXPECT_EQ(nb.stats().depth, 3);   // ceil(log2(8))
+  EXPECT_EQ(nc.stats().depth, 7);   // linear chain
+  expect_matches_model(m, nb);
+  expect_matches_model(m, nc);
+}
+
+TEST(Decompose, CycleDetection) {
+  const BlifModel m = parse_blif(
+      ".model cyc\n.inputs a\n.outputs z\n"
+      ".names z2 z\n1 1\n"
+      ".names z z2\n1 1\n.end\n");
+  EXPECT_THROW(decompose(m), Error);
+}
+
+TEST(Decompose, SharedSubexpressionHashing) {
+  // Both outputs contain a&b: structural hashing should share the node.
+  const BlifModel m = parse_blif(
+      ".model sh\n.inputs a b c\n.outputs y z\n"
+      ".names a b c y\n111 1\n"
+      ".names a b z\n11 1\n.end\n");
+  const Network net = decompose(m);
+  EXPECT_EQ(net.stats().num_ands, 2u);  // (a&b), (a&b)&c
+  expect_matches_model(m, net);
+}
+
+TEST(Decompose, XorRequiresInverters) {
+  const BlifModel m = parse_blif(
+      ".model x\n.inputs a b\n.outputs z\n"
+      ".names a b z\n10 1\n01 1\n.end\n");
+  const Network net = decompose(m);
+  EXPECT_GT(net.stats().num_invs, 0u);
+  expect_matches_model(m, net);
+}
+
+TEST(DecomposeCover, FaninMismatchThrows) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("x");
+  EXPECT_THROW(decompose_cover(b, SopCover::and_n(2), {x}), Error);
+}
+
+}  // namespace
+}  // namespace soidom

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/domino/export.hpp"
+
+namespace soidom {
+namespace {
+
+DominoNetlist mapped(const Network& source) {
+  FlowResult r = run_flow(source, FlowOptions{});
+  EXPECT_TRUE(r.ok());
+  return std::move(r.netlist);
+}
+
+TEST(SpiceExport, ContainsAllDominoDevices) {
+  const DominoNetlist nl = mapped(testing::fig2_network());
+  const std::string deck = export_spice(nl, "fig2");
+  EXPECT_NE(deck.find(".subckt dgate0"), std::string::npos);
+  EXPECT_NE(deck.find("MPPRE"), std::string::npos);   // precharge
+  EXPECT_NE(deck.find("MPKEEP"), std::string::npos);  // keeper
+  EXPECT_NE(deck.find("MPINV"), std::string::npos);   // output inverter
+  EXPECT_NE(deck.find("MNINV"), std::string::npos);
+  EXPECT_NE(deck.find("MNFOOT"), std::string::npos);  // footed gate
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+}
+
+TEST(SpiceExport, TransistorCountMatchesStats) {
+  const DominoNetlist nl = mapped(build_benchmark("cm150"));
+  const std::string deck = export_spice(nl, "cm150");
+  // Count device cards (lines starting with M).
+  int devices = 0;
+  for (std::size_t pos = 0; pos < deck.size();) {
+    const std::size_t eol = deck.find('\n', pos);
+    if (deck[pos] == 'M') ++devices;
+    pos = eol == std::string::npos ? deck.size() : eol + 1;
+  }
+  const DominoStats s = compute_stats(nl);
+  EXPECT_EQ(devices, s.t_total);
+}
+
+TEST(SpiceExport, DischargeTransistorsEmitted) {
+  // A protected bulk-mapped netlist must show MPDIS devices.
+  const Network source = build_benchmark("cm150");
+  FlowOptions opts;
+  opts.variant = FlowVariant::kDominoMap;
+  FlowResult r = run_flow(source, opts);
+  ASSERT_GT(r.stats.t_disch, 0);
+  const std::string deck = export_spice(r.netlist, "cm150_dm");
+  EXPECT_NE(deck.find("MPDIS"), std::string::npos);
+}
+
+TEST(SpiceExport, CustomModels) {
+  const DominoNetlist nl = mapped(testing::fig3_network());
+  SpiceModels models;
+  models.nmos = "nfet_pd_soi";
+  models.pmos = "pfet_pd_soi";
+  const std::string deck = export_spice(nl, "fig3", models);
+  EXPECT_NE(deck.find("nfet_pd_soi"), std::string::npos);
+  EXPECT_NE(deck.find("pfet_pd_soi"), std::string::npos);
+  EXPECT_EQ(deck.find("%NMOS%"), std::string::npos);
+}
+
+TEST(VerilogExport, StructurallySound) {
+  const DominoNetlist nl = mapped(testing::full_adder_network());
+  const std::string v = export_verilog(nl, "full_adder");
+  EXPECT_NE(v.find("module full_adder"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input x"), std::string::npos);
+  EXPECT_NE(v.find("output sum"), std::string::npos);
+  EXPECT_NE(v.find("output cout"), std::string::npos);
+  // One wire per gate.
+  for (std::size_t g = 0; g < nl.gates().size(); ++g) {
+    EXPECT_NE(v.find("wire g" + std::to_string(g) + " = "), std::string::npos);
+  }
+}
+
+TEST(VerilogExport, NegatedLiteralsUseTilde) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("x");
+  const NodeId y = b.add_pi("y");
+  b.add_output(b.add_and(b.add_inv(x), y), "z");
+  const DominoNetlist nl = mapped(std::move(b).build());
+  const std::string v = export_verilog(nl, "neg");
+  EXPECT_NE(v.find("~x"), std::string::npos);
+}
+
+TEST(VerilogExport, ConstantOutputs) {
+  NetworkBuilder b;
+  b.add_pi("x");
+  b.add_output(b.const1(), "one");
+  b.add_output(b.const0(), "zero");
+  const DominoNetlist nl = mapped(std::move(b).build());
+  const std::string v = export_verilog(nl, "konst");
+  EXPECT_NE(v.find("assign one = 1'b1"), std::string::npos);
+  EXPECT_NE(v.find("assign zero = 1'b0"), std::string::npos);
+}
+
+TEST(Export, SanitizesAwkwardNames) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("sig[3].q");
+  b.add_output(b.add_inv(x), "out<1>");
+  const DominoNetlist nl = mapped(std::move(b).build());
+  const std::string v = export_verilog(nl, "weird design");
+  EXPECT_EQ(v.find('['), std::string::npos);
+  EXPECT_EQ(v.find('<'), std::string::npos);
+  const std::string deck = export_spice(nl, "weird design");
+  EXPECT_NE(deck.find("sig_3__q"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soidom

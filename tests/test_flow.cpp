@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "helpers.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+
+namespace soidom {
+namespace {
+
+TEST(Flow, SoiVariantEndToEnd) {
+  const FlowResult r = run_flow(testing::full_adder_network(), FlowOptions{});
+  EXPECT_TRUE(r.ok()) << r.structure.to_string() << r.function.to_string();
+  EXPECT_GT(r.stats.num_gates, 0);
+  EXPECT_EQ(r.stats.t_total, r.stats.t_logic + r.stats.t_disch);
+}
+
+TEST(Flow, AllVariantsVerifyOnBenchmarks) {
+  for (const char* circuit : {"cm150", "z4ml", "frg1", "9symml"}) {
+    const Network source = build_benchmark(circuit);
+    for (const FlowVariant variant :
+         {FlowVariant::kDominoMap, FlowVariant::kRsMap,
+          FlowVariant::kSoiDominoMap}) {
+      FlowOptions opts;
+      opts.variant = variant;
+      const FlowResult r = run_flow(source, opts);
+      EXPECT_TRUE(r.ok()) << circuit;
+    }
+  }
+}
+
+TEST(Flow, OrderingInvariant_DominoGeqRsGeqSoi) {
+  // The paper's central comparison, as a per-circuit invariant under the
+  // default model: SOI-aware mapping never needs more discharge
+  // transistors than RS_Map, which never needs more than Domino_Map.
+  for (const char* circuit : {"cm150", "cordic", "f51m", "apex7", "c880",
+                              "t481", "c1908", "k2"}) {
+    const Network source = build_benchmark(circuit);
+    DominoStats s[3];
+    const FlowVariant variants[] = {FlowVariant::kDominoMap,
+                                    FlowVariant::kRsMap,
+                                    FlowVariant::kSoiDominoMap};
+    for (int v = 0; v < 3; ++v) {
+      FlowOptions opts;
+      opts.variant = variants[v];
+      s[v] = run_flow(source, opts).stats;
+    }
+    EXPECT_GE(s[0].t_disch, s[1].t_disch) << circuit;  // DM >= RS
+    EXPECT_GE(s[1].t_disch, s[2].t_disch) << circuit;  // RS >= SOI
+    EXPECT_GE(s[0].t_total, s[2].t_total) << circuit;  // headline result
+  }
+}
+
+TEST(Flow, BlifRoundTrip) {
+  const char* blif =
+      ".model t\n.inputs a b c\n.outputs z\n"
+      ".names a b t1\n11 1\n"
+      ".names t1 c z\n1- 1\n-1 1\n.end\n";
+  const FlowResult r = run_flow(parse_blif(blif), FlowOptions{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.netlist.outputs()[0].name, "z");
+}
+
+TEST(Flow, FileFrontEnd) {
+  const std::string path = ::testing::TempDir() + "/soidom_flow_test.blif";
+  {
+    std::ofstream out(path);
+    out << ".model f\n.inputs a b\n.outputs z\n.names a b z\n10 1\n01 1\n.end\n";
+  }
+  const FlowResult r = run_flow_file(path, FlowOptions{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_THROW(run_flow_file("/nonexistent/file.blif", FlowOptions{}), Error);
+}
+
+TEST(Flow, ExactEquivalenceOption) {
+  FlowOptions opts;
+  opts.exact_equivalence = true;
+  const FlowResult r = run_flow(testing::fig3_network(), opts);
+  ASSERT_TRUE(r.exact.has_value());
+  EXPECT_TRUE(*r.exact);
+}
+
+TEST(Flow, VerificationCanBeDisabled) {
+  FlowOptions opts;
+  opts.verify_rounds = 0;
+  const FlowResult r = run_flow(testing::fig3_network(), opts);
+  EXPECT_TRUE(r.function.ok());  // trivially: no check ran
+  EXPECT_TRUE(r.structure.ok());
+}
+
+TEST(Flow, SummarizeMentionsKeyFields) {
+  const FlowResult r = run_flow(testing::fig3_network(), FlowOptions{});
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("T_logic="), std::string::npos);
+  EXPECT_NE(s.find("T_disch="), std::string::npos);
+  EXPECT_NE(s.find("structure=ok"), std::string::npos);
+}
+
+TEST(Flow, DepthObjectiveReducesLevels) {
+  const Network source = build_benchmark("cm150");
+  FlowOptions area;
+  FlowOptions depth;
+  depth.mapper.objective = CostObjective::kDepth;
+  const FlowResult ra = run_flow(source, area);
+  const FlowResult rd = run_flow(source, depth);
+  EXPECT_TRUE(ra.ok());
+  EXPECT_TRUE(rd.ok());
+  EXPECT_LE(rd.stats.levels, ra.stats.levels);
+}
+
+class FlowBenchmarkProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FlowBenchmarkProperty, SoiFlowIsCleanAndPbeSafe) {
+  const Network source = build_benchmark(GetParam());
+  FlowOptions opts;
+  opts.verify_rounds = 2;
+  const FlowResult r = run_flow(source, opts);
+  EXPECT_TRUE(r.ok()) << GetParam() << ": " << r.structure.to_string();
+  EXPECT_EQ(r.dp_analyzer_mismatches, 0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndMedium, FlowBenchmarkProperty,
+                         ::testing::Values("cm150", "mux", "z4ml", "cordic",
+                                           "f51m", "count", "frg1", "b9",
+                                           "c8", "9symml", "apex7", "c432",
+                                           "x1", "c880", "t481", "i6"));
+
+}  // namespace
+}  // namespace soidom

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+
+namespace soidom {
+namespace {
+
+/// Golden regression table: the SOI flow's headline statistics for every
+/// registered benchmark, locked at the values that produced the numbers
+/// recorded in EXPERIMENTS.md.  Everything in the pipeline is
+/// deterministic, so any diff here is a REAL behaviour change — if it is
+/// intentional, update this table AND re-run the bench binaries so
+/// EXPERIMENTS.md stays truthful.
+struct Golden {
+  int t_logic;
+  int t_disch;
+  int num_gates;
+  int levels;
+};
+
+const std::map<std::string, Golden>& golden() {
+  static const std::map<std::string, Golden> kGolden = {
+      {"cm150", {74, 0, 5, 3}},
+      {"c6288", {3287, 137, 430, 27}},
+      {"decod", {434, 0, 62, 5}},
+      {"mux", {72, 0, 8, 2}},
+      {"z4ml", {113, 5, 12, 4}},
+      {"cordic", {368, 18, 40, 5}},
+      {"f51m", {355, 20, 35, 6}},
+      {"count", {334, 0, 42, 14}},
+      {"c880", {1075, 60, 107, 14}},
+      {"dalu", {2161, 120, 216, 27}},
+      {"c3540", {6481, 360, 648, 75}},
+      {"9symml", {301, 0, 33, 10}},
+      {"t481", {1053, 0, 117, 17}},
+      {"c499", {2278, 212, 212, 3}},
+      {"c1355", {2278, 212, 212, 3}},
+      {"c1908", {1839, 173, 171, 2}},
+      {"c432", {649, 0, 79, 35}},
+      {"rot", {2592, 0, 288, 6}},
+      {"des", {8854, 157, 1196, 15}},
+      {"i6", {1321, 0, 165, 6}},
+      {"frg1", {116, 3, 11, 4}},
+      {"b9", {340, 5, 36, 6}},
+      {"c8", {347, 10, 37, 6}},
+      {"x1", {911, 28, 91, 12}},
+      {"apex7", {537, 15, 55, 8}},
+      {"apex6", {1829, 52, 187, 10}},
+      {"k2", {2320, 59, 267, 23}},
+      {"c2670", {1940, 63, 187, 8}},
+      {"c5315", {4740, 139, 488, 15}},
+      {"c7552", {7004, 239, 721, 20}},
+  };
+  return kGolden;
+}
+
+class GoldenStats : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenStats, SoiFlowMatchesLockedValues) {
+  const auto it = golden().find(GetParam());
+  ASSERT_NE(it, golden().end()) << "circuit missing from the golden table";
+  FlowOptions opts;
+  opts.verify_rounds = 0;
+  const FlowResult r = run_flow(build_benchmark(GetParam()), opts);
+  EXPECT_EQ(r.stats.t_logic, it->second.t_logic);
+  EXPECT_EQ(r.stats.t_disch, it->second.t_disch);
+  EXPECT_EQ(r.stats.num_gates, it->second.num_gates);
+  EXPECT_EQ(r.stats.levels, it->second.levels);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, GoldenStats,
+                         ::testing::ValuesIn(benchmark_names()));
+
+TEST(GoldenStats, TableCoversEveryRegisteredCircuit) {
+  for (const std::string& name : benchmark_names()) {
+    EXPECT_TRUE(golden().contains(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace soidom

@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers.hpp"
+#include "soidom/domino/postpass.hpp"
+#include "soidom/domino/stats.hpp"
+#include "soidom/domino/verify.hpp"
+#include "soidom/mapper/mapper.hpp"
+#include "soidom/sim/sim.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace soidom {
+namespace {
+
+std::vector<NodeId> nodes_of_kind(const Network& net, NodeKind kind) {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 2; i < net.size(); ++i) {
+    if (net.kind(NodeId{i}) == kind) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+/// End-to-end map + verify helper.
+void map_and_check(const Network& source, const MapperOptions& opts,
+                   DominoStats* stats_out = nullptr) {
+  const UnateResult unate = make_unate(source);
+  MappingResult result = map_to_domino(unate, opts);
+  EXPECT_EQ(result.dp_analyzer_mismatches, 0);
+  if (opts.engine == MappingEngine::kDominoMap) {
+    insert_discharges(result.netlist, opts.grounding, opts.pending_model);
+  }
+  const VerifyReport structure =
+      verify_structure(result.netlist, opts.grounding, opts.pending_model);
+  EXPECT_TRUE(structure.ok()) << structure.to_string();
+  Rng rng(0xC0FFEE);
+  const VerifyReport function =
+      verify_function(result.netlist, source, 8, rng);
+  EXPECT_TRUE(function.ok()) << function.to_string();
+  if (stats_out != nullptr) *stats_out = compute_stats(result.netlist);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 worked example (paper section IV): base Domino_Map cost algebra.
+// ---------------------------------------------------------------------------
+
+class Fig3Example : public ::testing::Test {
+ protected:
+  Fig3Example()
+      : source_(testing::fig3_network()), unate_(make_unate(source_)) {
+    options_.engine = MappingEngine::kDominoMap;
+    options_.max_width = 4;
+    options_.max_height = 4;
+  }
+
+  Network source_;
+  UnateResult unate_;
+  MapperOptions options_;
+};
+
+TEST_F(Fig3Example, AndNodeTuples) {
+  TupleOracle oracle(unate_, options_);
+  const auto ands = nodes_of_kind(unate_.net, NodeKind::kAnd);
+  ASSERT_EQ(ands.size(), 2u);
+  const auto tuples = oracle.tuples_of(ands[0]);
+  // Exactly the raw series stack {W=1,H=2,cost=2} and the gate {1,1,7}
+  // (footed: 2 + precharge + 2 inverter + keeper + n-clock foot).
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0].width, 1);
+  EXPECT_EQ(tuples[0].height, 1);
+  EXPECT_EQ(tuples[0].cost_transistors(), 7);
+  EXPECT_EQ(tuples[1].width, 1);
+  EXPECT_EQ(tuples[1].height, 2);
+  EXPECT_EQ(tuples[1].cost_transistors(), 2);
+  EXPECT_TRUE(tuples[1].has_pi);
+}
+
+TEST_F(Fig3Example, OrNodeTuples) {
+  TupleOracle oracle(unate_, options_);
+  const auto ors = nodes_of_kind(unate_.net, NodeKind::kOr);
+  ASSERT_EQ(ors.size(), 1u);
+  const auto tuples = oracle.tuples_of(ors[0]);
+
+  // Paper: combinations give {W2,H1,16} (two sub-gates), {W2,H2,10}
+  // (gate + raw, dominated on cost by raw+raw) and {W2,H2,4}; the {1,1}
+  // gate then costs 4+5=9.
+  auto min_cost_at = [&](int w, int h) {
+    std::int64_t best = -1;
+    for (const TupleInfo& t : tuples) {
+      if (t.width == w && t.height == h &&
+          (best < 0 || t.cost_transistors() < best)) {
+        best = t.cost_transistors();
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(min_cost_at(2, 1), 16);
+  EXPECT_EQ(min_cost_at(2, 2), 4);
+  EXPECT_EQ(min_cost_at(1, 1), 9);
+  EXPECT_EQ(oracle.gate_cost_of(ors[0]), 9 * kCostUnitsPerTransistor);
+}
+
+TEST_F(Fig3Example, RealizedNetlistMatchesPaperCost) {
+  MappingResult result = map_to_domino(unate_, options_);
+  insert_discharges(result.netlist, options_.grounding);
+  const DominoStats s = compute_stats(result.netlist);
+  EXPECT_EQ(s.num_gates, 1);
+  EXPECT_EQ(s.t_logic, 9);
+  EXPECT_EQ(s.levels, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 example: SOI mapping of (A+B+C)*D.
+// ---------------------------------------------------------------------------
+
+TEST(MapperFig2, FootlessGroundedPolicyKeepsOneDischarge) {
+  const Network source = testing::fig2_network();
+  MapperOptions opts;
+  opts.grounding = GroundingPolicy::kFootlessGrounded;  // ablation policy
+  const UnateResult unate = make_unate(source);
+  const MappingResult result = map_to_domino(unate, opts);
+  const DominoStats s = compute_stats(result.netlist);
+  EXPECT_EQ(s.num_gates, 1);
+  // Under the pessimistic policy the footed gate's bottom floats, so the
+  // best the mapper can do is the paper's Fig. 2 structure + 1 discharge.
+  EXPECT_EQ(s.t_disch, 1);
+  EXPECT_EQ(s.t_logic, 4 + 5);
+}
+
+TEST(MapperFig2, DefaultPolicyReordersAndEliminatesDischarges) {
+  const Network source = testing::fig2_network();
+  MapperOptions opts;  // default: kAllGrounded (see options.hpp)
+  const UnateResult unate = make_unate(source);
+  const MappingResult result = map_to_domino(unate, opts);
+  const DominoStats s = compute_stats(result.netlist);
+  EXPECT_EQ(s.t_disch, 0);
+  // The parallel stack must then sit at the bottom of the gate
+  // (transformation 4 of the paper's section III-C).
+  const Pdn& pdn = result.netlist.gates()[0].pdn;
+  const PdnNode& root = pdn.node(pdn.root());
+  ASSERT_EQ(root.kind, PdnKind::kSeries);
+  EXPECT_EQ(pdn.node(root.children.back()).kind, PdnKind::kParallel);
+}
+
+TEST(MapperFig2, BulkEngineLeavesParallelOnTop) {
+  // The PBE-blind engine must realize the paper's Fig. 2(a) structure:
+  // parallel stack on top, so the post-pass needs a discharge transistor.
+  const Network source = testing::fig2_network();
+  MapperOptions opts;
+  opts.engine = MappingEngine::kDominoMap;
+  const UnateResult unate = make_unate(source);
+  MappingResult result = map_to_domino(unate, opts);
+  const Pdn& pdn = result.netlist.gates()[0].pdn;
+  const PdnNode& root = pdn.node(pdn.root());
+  ASSERT_EQ(root.kind, PdnKind::kSeries);
+  EXPECT_EQ(pdn.node(root.children.front()).kind, PdnKind::kParallel);
+  EXPECT_EQ(insert_discharges(result.netlist), 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end correctness across engines / objectives / options.
+// ---------------------------------------------------------------------------
+
+TEST(Mapper, FunctionPreservedOnReferenceCircuits) {
+  for (const auto& net :
+       {testing::fig2_network(), testing::fig3_network(),
+        testing::full_adder_network()}) {
+    for (const MappingEngine engine :
+         {MappingEngine::kDominoMap, MappingEngine::kSoiDominoMap}) {
+      for (const CostObjective objective :
+           {CostObjective::kArea, CostObjective::kDepth}) {
+        MapperOptions opts;
+        opts.engine = engine;
+        opts.objective = objective;
+        map_and_check(net, opts);
+      }
+    }
+  }
+}
+
+struct MapperPropertyParam {
+  std::uint64_t seed;
+  MappingEngine engine;
+  CostObjective objective;
+};
+
+class MapperRandomProperty
+    : public ::testing::TestWithParam<MapperPropertyParam> {};
+
+TEST_P(MapperRandomProperty, MapsCorrectly) {
+  const auto p = GetParam();
+  const Network net = testing::random_network(8, 80, 5, p.seed);
+  MapperOptions opts;
+  opts.engine = p.engine;
+  opts.objective = p.objective;
+  map_and_check(net, opts);
+}
+
+std::vector<MapperPropertyParam> property_grid() {
+  std::vector<MapperPropertyParam> out;
+  for (const std::uint64_t seed : {3u, 7u, 11u, 19u, 23u, 31u}) {
+    for (const MappingEngine e :
+         {MappingEngine::kDominoMap, MappingEngine::kSoiDominoMap}) {
+      for (const CostObjective o :
+           {CostObjective::kArea, CostObjective::kDepth}) {
+        out.push_back({seed, e, o});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MapperRandomProperty,
+                         ::testing::ValuesIn(property_grid()));
+
+TEST(Mapper, SoiNeverWorseThanBulkOnTotal) {
+  // The SOI DP optimizes the full objective (logic + discharge), so its
+  // realized total must not exceed the bulk flow's total.
+  for (const std::uint64_t seed : {1u, 5u, 9u, 42u, 77u}) {
+    const Network net = testing::random_network(10, 150, 6, seed);
+    MapperOptions bulk;
+    bulk.engine = MappingEngine::kDominoMap;
+    MapperOptions soi;
+    soi.engine = MappingEngine::kSoiDominoMap;
+    DominoStats sb;
+    DominoStats ss;
+    map_and_check(net, bulk, &sb);
+    map_and_check(net, soi, &ss);
+    EXPECT_LE(ss.t_total, sb.t_total) << "seed " << seed;
+    EXPECT_LE(ss.t_disch, sb.t_disch) << "seed " << seed;
+  }
+}
+
+TEST(Mapper, RespectsShapeLimits) {
+  for (const int wmax : {2, 3, 5}) {
+    for (const int hmax : {2, 4, 8}) {
+      const Network net = testing::random_network(8, 60, 4, 321);
+      MapperOptions opts;
+      opts.max_width = wmax;
+      opts.max_height = hmax;
+      const UnateResult unate = make_unate(net);
+      const MappingResult result = map_to_domino(unate, opts);
+      for (const DominoGate& g : result.netlist.gates()) {
+        EXPECT_LE(g.pdn.width(), wmax);
+        EXPECT_LE(g.pdn.height(), hmax);
+      }
+    }
+  }
+}
+
+TEST(Mapper, SmallerShapeLimitsMeanMoreGates) {
+  const Network net = testing::random_network(8, 100, 4, 55);
+  const UnateResult unate = make_unate(net);
+  MapperOptions small;
+  small.max_width = 2;
+  small.max_height = 2;
+  MapperOptions large;
+  large.max_width = 6;
+  large.max_height = 10;
+  const auto gates_small = map_to_domino(unate, small).netlist.gates().size();
+  const auto gates_large = map_to_domino(unate, large).netlist.gates().size();
+  EXPECT_GE(gates_small, gates_large);
+}
+
+TEST(Mapper, DepthObjectiveNotDeeperThanArea) {
+  for (const std::uint64_t seed : {2u, 4u, 6u}) {
+    const Network net = testing::random_network(10, 120, 5, seed);
+    MapperOptions area;
+    MapperOptions depth;
+    depth.objective = CostObjective::kDepth;
+    DominoStats sa;
+    DominoStats sd;
+    map_and_check(net, area, &sa);
+    map_and_check(net, depth, &sd);
+    EXPECT_LE(sd.levels, sa.levels) << "seed " << seed;
+  }
+}
+
+TEST(Mapper, ClockWeightReducesClockTransistors) {
+  const Network net = testing::random_network(10, 150, 6, 1234);
+  MapperOptions k1;
+  MapperOptions k2;
+  k2.clock_weight = 2.0;
+  DominoStats s1;
+  DominoStats s2;
+  map_and_check(net, k1, &s1);
+  map_and_check(net, k2, &s2);
+  EXPECT_LE(s2.t_clock, s1.t_clock);
+}
+
+TEST(Mapper, HeuristicOrderingclose) {
+  // The paper's placement heuristic should land close to exhaustive
+  // ordering (it is the motivation for Fig. 5) and never crash.
+  const Network net = testing::random_network(10, 120, 5, 888);
+  MapperOptions ex;
+  MapperOptions heur;
+  heur.exhaustive_ordering = false;
+  DominoStats se;
+  DominoStats sh;
+  map_and_check(net, ex, &se);
+  map_and_check(net, heur, &sh);
+  EXPECT_LE(se.t_total, sh.t_total);  // exhaustive subsumes the heuristic
+}
+
+TEST(Mapper, PaperLiteralModelMoreDischarges) {
+  const Network net = testing::random_network(10, 120, 5, 4321);
+  MapperOptions coherent;
+  MapperOptions literal;
+  literal.pending_model = PendingModel::kPaperLiteral;
+  DominoStats sc;
+  DominoStats sl;
+  map_and_check(net, coherent, &sc);
+  map_and_check(net, literal, &sl);
+  EXPECT_GE(sl.t_disch, sc.t_disch);
+}
+
+TEST(Mapper, GateDuplicationModeStillCorrect) {
+  const Network net = testing::random_network(8, 60, 4, 99);
+  MapperOptions opts;
+  opts.gate_at_fanout = false;  // allow duplication into fanout cones
+  map_and_check(net, opts);
+}
+
+TEST(Mapper, ConstantAndPassthroughOutputs) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("x");
+  const NodeId y = b.add_pi("y");
+  b.add_output(b.const1(), "one");
+  b.add_output(b.const0(), "zero");
+  b.add_output(x, "wire");
+  b.add_output(b.add_inv(x), "wire_n");
+  b.add_output(b.add_and(x, y), "g");
+  const Network net = std::move(b).build();
+  map_and_check(net, MapperOptions{});
+}
+
+TEST(Mapper, RejectsNonUnateInput) {
+  UnateResult fake;
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("x");
+  b.add_output(b.add_inv(x), "z");
+  fake.net = std::move(b).build();
+  fake.pi_literals.push_back({0, -1});
+  fake.po_inverted.push_back(false);
+  EXPECT_THROW(map_to_domino(fake, MapperOptions{}), Error);
+}
+
+TEST(Mapper, RejectsInfeasibleLimits) {
+  const UnateResult unate = make_unate(testing::fig3_network());
+  MapperOptions opts;
+  opts.max_height = 1;
+  EXPECT_THROW(map_to_domino(unate, opts), Error);
+}
+
+TEST(Mapper, FootednessMatchesLeaves) {
+  const Network net = testing::random_network(8, 80, 4, 202);
+  const UnateResult unate = make_unate(net);
+  const MappingResult result = map_to_domino(unate, MapperOptions{});
+  for (const DominoGate& g : result.netlist.gates()) {
+    bool has_input = false;
+    for (const std::uint32_t s : g.pdn.leaf_signals()) {
+      if (result.netlist.is_input_signal(s)) has_input = true;
+    }
+    EXPECT_EQ(g.footed, has_input);
+  }
+}
+
+}  // namespace
+}  // namespace soidom

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "soidom/pdn/analyze.hpp"
+#include "soidom/pdn/pdn.hpp"
+#include "soidom/pdn/reorder.hpp"
+
+namespace soidom {
+namespace {
+
+/// Fig. 4(a): A*B + C   (signals: A=0, B=1, C=2)
+Pdn fig4a() {
+  Pdn p;
+  const PdnIndex a = p.add_leaf(0);
+  const PdnIndex b = p.add_leaf(1);
+  const PdnIndex c = p.add_leaf(2);
+  const PdnIndex ab = p.add_series({a, b});
+  p.set_root(p.add_parallel({ab, c}));
+  return p;
+}
+
+/// Fig. 4(b): (A*B + C) on top of (D*E + F)
+Pdn fig4b() {
+  Pdn p;
+  const PdnIndex top = [&] {
+    const PdnIndex ab = p.add_series({p.add_leaf(0), p.add_leaf(1)});
+    return p.add_parallel({ab, p.add_leaf(2)});
+  }();
+  const PdnIndex bottom = [&] {
+    const PdnIndex de = p.add_series({p.add_leaf(3), p.add_leaf(4)});
+    return p.add_parallel({de, p.add_leaf(5)});
+  }();
+  p.set_root(p.add_series({top, bottom}));
+  return p;
+}
+
+/// Fig. 2: (A + B + C) * D   (parallel stack on top, D at the bottom)
+Pdn fig2_pdn() {
+  Pdn p;
+  const PdnIndex par =
+      p.add_parallel({p.add_leaf(0), p.add_leaf(1), p.add_leaf(2)});
+  p.set_root(p.add_series({par, p.add_leaf(3)}));
+  return p;
+}
+
+TEST(PdnStructure, ShapeMetrics) {
+  const Pdn p = fig4a();
+  EXPECT_EQ(p.width(), 2);
+  EXPECT_EQ(p.height(), 2);
+  EXPECT_EQ(p.transistor_count(), 3);
+
+  const Pdn q = fig4b();
+  EXPECT_EQ(q.width(), 2);
+  EXPECT_EQ(q.height(), 4);
+  EXPECT_EQ(q.transistor_count(), 6);
+}
+
+TEST(PdnStructure, SeriesFlattening) {
+  Pdn p;
+  const PdnIndex abc = p.add_series(
+      {p.add_series({p.add_leaf(0), p.add_leaf(1)}), p.add_leaf(2)});
+  p.set_root(abc);
+  EXPECT_EQ(p.node(abc).children.size(), 3u);
+  EXPECT_EQ(p.height(), 3);
+  EXPECT_EQ(p.to_string(), "(s0.s1.s2)");
+}
+
+TEST(PdnStructure, ParallelFlattening) {
+  Pdn p;
+  const PdnIndex abc = p.add_parallel(
+      {p.add_parallel({p.add_leaf(0), p.add_leaf(1)}), p.add_leaf(2)});
+  p.set_root(abc);
+  EXPECT_EQ(p.node(abc).children.size(), 3u);
+  EXPECT_EQ(p.width(), 3);
+}
+
+TEST(PdnStructure, SingleChildCollapses) {
+  Pdn p;
+  const PdnIndex a = p.add_leaf(0);
+  EXPECT_EQ(p.add_series({a}), a);
+  EXPECT_EQ(p.add_parallel({a}), a);
+}
+
+TEST(PdnStructure, LeafSignalsOrdered) {
+  const Pdn p = fig4b();
+  EXPECT_EQ(p.leaf_signals(), (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(PdnStructure, Conducts) {
+  const Pdn p = fig2_pdn();  // (A+B+C)*D
+  auto with = [&](bool a, bool b, bool c, bool d) {
+    const bool vals[] = {a, b, c, d};
+    return p.conducts([&](std::uint32_t s) { return vals[s]; });
+  };
+  EXPECT_FALSE(with(true, false, false, false));
+  EXPECT_TRUE(with(true, false, false, true));
+  EXPECT_TRUE(with(false, false, true, true));
+  EXPECT_FALSE(with(false, false, false, true));
+}
+
+TEST(PdnStructure, StructuralEquality) {
+  EXPECT_TRUE(structurally_equal(fig4a(), fig4a()));
+  EXPECT_FALSE(structurally_equal(fig4a(), fig2_pdn()));
+}
+
+// ---------------------------------------------------------------------------
+// PBE analysis: the paper's Fig. 4 and Fig. 5 walk-throughs.
+// ---------------------------------------------------------------------------
+
+TEST(PbeAnalyzer, Fig4aGroundedNeedsNothing) {
+  const PbeAnalysis a = analyze_pbe(fig4a(), /*bottom_grounded=*/true);
+  EXPECT_EQ(a.required_count(), 0);
+  EXPECT_EQ(a.pending_count(), 1);  // the A-B junction
+  EXPECT_TRUE(a.par_b_root);
+}
+
+TEST(PbeAnalyzer, Fig4aUngroundedNeedsTwo) {
+  const PbeAnalysis a = analyze_pbe(fig4a(), /*bottom_grounded=*/false);
+  // The A-B junction plus the bottom of the parallel stack.
+  EXPECT_EQ(a.required_count(), 2);
+  EXPECT_EQ(a.pending_count(), 0);
+}
+
+TEST(PbeAnalyzer, Fig4bTopStructureCommits) {
+  // Paper: ANDing two Fig4a structures adds p_dis(top) + 1 = 2 discharge
+  // transistors; the bottom structure's junction stays pending.
+  const PbeAnalysis grounded = analyze_pbe(fig4b(), true);
+  EXPECT_EQ(grounded.required_count(), 2);
+  EXPECT_EQ(grounded.pending_count(), 1);
+
+  const PbeAnalysis floating = analyze_pbe(fig4b(), false);
+  EXPECT_EQ(floating.required_count(), 4);  // + pending + stack bottom
+  EXPECT_EQ(floating.pending_count(), 0);
+}
+
+TEST(PbeAnalyzer, Fig2SeriesBottomIsBad) {
+  // (A+B+C)*D with D at the bottom: the parallel stack sits above D, so
+  // its bottom (node 1 in the paper) must be discharged.
+  const PbeAnalysis a = analyze_pbe(fig2_pdn(), true);
+  EXPECT_EQ(a.required_count(), 1);
+  EXPECT_EQ(a.pending_count(), 0);
+}
+
+TEST(PbeAnalyzer, Fig2ReorderedIsSafe) {
+  // D moved to the top, parallel stack at the bottom connected to ground:
+  // transformation 4 of section III-C, zero discharge transistors.
+  Pdn p;
+  const PdnIndex par =
+      p.add_parallel({p.add_leaf(0), p.add_leaf(1), p.add_leaf(2)});
+  p.set_root(p.add_series({p.add_leaf(3), par}));
+  EXPECT_EQ(required_discharges(p, true), 0);
+  // But if the gate is footed (not grounded), reordering alone is not
+  // enough: 1 pending + bottom.
+  EXPECT_EQ(required_discharges(p, false), 2);
+}
+
+TEST(PbeAnalyzer, Fig5StackSwitching) {
+  // Left of Fig. 5: (A*B + C) above E -> 2 discharge transistors.
+  Pdn left;
+  {
+    const PdnIndex ab = left.add_series({left.add_leaf(0), left.add_leaf(1)});
+    const PdnIndex par = left.add_parallel({ab, left.add_leaf(2)});
+    left.set_root(left.add_series({par, left.add_leaf(3)}));
+  }
+  EXPECT_EQ(required_discharges(left, true), 2);
+
+  // Right of Fig. 5: E on top, parallel stack at the bottom -> none needed
+  // when the bottom reaches ground.
+  Pdn right;
+  {
+    const PdnIndex ab =
+        right.add_series({right.add_leaf(0), right.add_leaf(1)});
+    const PdnIndex par = right.add_parallel({ab, right.add_leaf(2)});
+    right.set_root(right.add_series({right.add_leaf(3), par}));
+  }
+  EXPECT_EQ(required_discharges(right, true), 0);
+  const PbeAnalysis a = analyze_pbe(right, true);
+  EXPECT_EQ(a.pending_count(), 2);  // the paper's two *potential* points
+}
+
+TEST(PbeAnalyzer, PureSeriesIsAlwaysSafeInCoherentModel) {
+  Pdn p;
+  p.set_root(p.add_series(
+      {p.add_leaf(0), p.add_leaf(1), p.add_leaf(2), p.add_leaf(3)}));
+  EXPECT_EQ(required_discharges(p, true), 0);
+  EXPECT_EQ(required_discharges(p, false), 0);
+  // Paper-literal model bills every junction instead.
+  EXPECT_EQ(required_discharges(p, true, PendingModel::kPaperLiteral), 3);
+}
+
+TEST(PbeAnalyzer, SingleLeaf) {
+  Pdn p;
+  p.set_root(p.add_leaf(7));
+  EXPECT_EQ(required_discharges(p, true), 0);
+  EXPECT_EQ(required_discharges(p, false), 0);
+}
+
+TEST(PbeAnalyzer, WideParallelOfLeavesNeedsOnlyBottom) {
+  Pdn p;
+  p.set_root(p.add_parallel(
+      {p.add_leaf(0), p.add_leaf(1), p.add_leaf(2), p.add_leaf(3)}));
+  EXPECT_EQ(required_discharges(p, true), 0);
+  EXPECT_EQ(required_discharges(p, false), 1);  // just the stack bottom
+}
+
+TEST(PbeAnalyzer, SeriesAboveParallelKeepsUpperJunctionPending) {
+  // X above P(parallel) above Y: junction X-P is a series point (pending);
+  // P's bottom junction commits because Y is below it.
+  Pdn p;
+  const PdnIndex par = p.add_parallel({p.add_leaf(1), p.add_leaf(2)});
+  p.set_root(p.add_series({p.add_leaf(0), par, p.add_leaf(3)}));
+  const PbeAnalysis a = analyze_pbe(p, true);
+  EXPECT_EQ(a.required_count(), 1);  // P's bottom node
+  EXPECT_EQ(a.pending_count(), 1);   // X-P junction
+}
+
+TEST(PbeAnalyzer, DischargePointToString) {
+  EXPECT_EQ(to_string(DischargePoint{}), "bottom");
+  EXPECT_EQ(to_string(DischargePoint{3, 1}), "junction(s=3,p=1)");
+}
+
+TEST(PbeAnalyzer, FullyProtected) {
+  const Pdn p = fig2_pdn();
+  const auto req = analyze_pbe(p, true).required;
+  EXPECT_FALSE(fully_protected(p, true, {}));
+  EXPECT_TRUE(fully_protected(p, true, req));
+}
+
+// ---------------------------------------------------------------------------
+// Stack reordering (RS pass).
+// ---------------------------------------------------------------------------
+
+TEST(Reorder, MovesParallelStackToBottom) {
+  Pdn p = fig2_pdn();  // (A+B+C) above D
+  EXPECT_EQ(required_discharges(p, true), 1);
+  const int changed = reorder_series_stacks(p);
+  EXPECT_EQ(changed, 1);
+  EXPECT_EQ(required_discharges(p, true), 0);
+  // Bottom child is now the parallel stack.
+  const PdnNode& root = p.node(p.root());
+  EXPECT_EQ(p.node(root.children.back()).kind, PdnKind::kParallel);
+}
+
+TEST(Reorder, PrefersLargerPendingAtBottom) {
+  // (A*B + C) and (D + E) in series: both parallel; (A*B + C) defers more
+  // (its interior junction) so it must go to the bottom.
+  Pdn p;
+  const PdnIndex big = [&] {
+    const PdnIndex ab = p.add_series({p.add_leaf(0), p.add_leaf(1)});
+    return p.add_parallel({ab, p.add_leaf(2)});
+  }();
+  const PdnIndex small = p.add_parallel({p.add_leaf(3), p.add_leaf(4)});
+  p.set_root(p.add_series({big, small}));
+  EXPECT_EQ(required_discharges(p, true), 2);  // big on top commits 2
+  reorder_series_stacks(p);
+  EXPECT_EQ(required_discharges(p, true), 1);  // small on top commits 1
+}
+
+TEST(Reorder, NoChangeWhenAlreadyOptimal) {
+  Pdn p;
+  const PdnIndex par = p.add_parallel({p.add_leaf(0), p.add_leaf(1)});
+  p.set_root(p.add_series({p.add_leaf(2), par}));
+  EXPECT_EQ(reorder_series_stacks(p), 0);
+}
+
+TEST(Reorder, PreservesFunction) {
+  Pdn p = fig2_pdn();
+  Pdn q = p;
+  reorder_series_stacks(q);
+  for (int v = 0; v < 16; ++v) {
+    auto val = [&](std::uint32_t s) { return ((v >> s) & 1) != 0; };
+    EXPECT_EQ(p.conducts(val), q.conducts(val)) << v;
+  }
+}
+
+TEST(Reorder, RecursesIntoNestedStacks) {
+  // Nested series inside a parallel branch also gets reordered.
+  Pdn p;
+  const PdnIndex inner_par = p.add_parallel({p.add_leaf(0), p.add_leaf(1)});
+  const PdnIndex inner = p.add_series({inner_par, p.add_leaf(2)});
+  const PdnIndex outer_par = p.add_parallel({inner, p.add_leaf(3)});
+  p.set_root(p.add_series({outer_par, p.add_leaf(4)}));
+  const int before = required_discharges(p, true);
+  reorder_series_stacks(p);
+  EXPECT_LT(required_discharges(p, true), before);
+}
+
+}  // namespace
+}  // namespace soidom

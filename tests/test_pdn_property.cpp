@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "soidom/base/rng.hpp"
+#include "soidom/pdn/analyze.hpp"
+#include "soidom/pdn/pdn.hpp"
+#include "soidom/pdn/reorder.hpp"
+
+namespace soidom {
+namespace {
+
+/// Seeded random series/parallel tree over `num_signals` gate inputs.
+PdnIndex random_subtree(Pdn& pdn, Rng& rng, int depth, int num_signals,
+                        bool parent_series) {
+  const bool make_leaf = depth <= 0 || rng.chance(2, 5);
+  if (make_leaf) {
+    return pdn.add_leaf(static_cast<std::uint32_t>(
+        rng.next_below(static_cast<std::uint64_t>(num_signals))));
+  }
+  // Alternate kinds so flattening keeps structure interesting.
+  const bool series = parent_series ? rng.chance(1, 4) : rng.chance(3, 4);
+  const int arity = 2 + static_cast<int>(rng.next_below(3));
+  std::vector<PdnIndex> children;
+  for (int k = 0; k < arity; ++k) {
+    children.push_back(
+        random_subtree(pdn, rng, depth - 1, num_signals, series));
+  }
+  return series ? pdn.add_series(std::move(children))
+                : pdn.add_parallel(std::move(children));
+}
+
+Pdn random_pdn(std::uint64_t seed, int num_signals = 6) {
+  Rng rng(seed);
+  Pdn pdn;
+  pdn.set_root(random_subtree(pdn, rng, 4, num_signals, false));
+  return pdn;
+}
+
+bool eval(const Pdn& pdn, std::uint32_t assignment) {
+  return pdn.conducts(
+      [&](std::uint32_t s) { return ((assignment >> s) & 1) != 0; });
+}
+
+class PdnRandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PdnRandomProperty, NormalizationInvariants) {
+  const Pdn pdn = random_pdn(GetParam());
+  for (PdnIndex i = 0; i < pdn.pool_size(); ++i) {
+    const PdnNode& n = pdn.node(i);
+    if (n.kind == PdnKind::kLeaf) continue;
+    EXPECT_GE(n.children.size(), 2u);
+    for (const PdnIndex c : n.children) {
+      // add_series / add_parallel flatten same-kind children.
+      EXPECT_NE(pdn.node(c).kind, n.kind);
+    }
+  }
+}
+
+TEST_P(PdnRandomProperty, ShapeMetricBounds) {
+  const Pdn pdn = random_pdn(GetParam());
+  const int w = pdn.width();
+  const int h = pdn.height();
+  const int t = pdn.transistor_count();
+  EXPECT_GE(w, 1);
+  EXPECT_GE(h, 1);
+  EXPECT_LE(t, w * h);
+  EXPECT_GE(t, std::max(w, h));
+  EXPECT_EQ(static_cast<std::size_t>(t), pdn.leaf_signals().size());
+}
+
+TEST_P(PdnRandomProperty, AnalyzerMonotoneInGrounding) {
+  const Pdn pdn = random_pdn(GetParam());
+  const PbeAnalysis grounded = analyze_pbe(pdn, true);
+  const PbeAnalysis floating = analyze_pbe(pdn, false);
+  // Everything required when grounded is still required when floating.
+  for (const DischargePoint& p : grounded.required) {
+    EXPECT_NE(std::find(floating.required.begin(), floating.required.end(), p),
+              floating.required.end());
+  }
+  EXPECT_GE(floating.required_count(), grounded.required_count());
+  // Conservation: floating commits exactly the grounded-pending points
+  // when the bottom is a parallel stack, plus the bottom itself.
+  if (grounded.par_b_root) {
+    EXPECT_EQ(floating.required_count(),
+              grounded.required_count() + grounded.pending_count() + 1);
+    EXPECT_EQ(floating.pending_count(), 0);
+  } else {
+    EXPECT_EQ(floating.required_count(), grounded.required_count());
+  }
+}
+
+TEST_P(PdnRandomProperty, LiteralModelIsMorePessimistic) {
+  const Pdn pdn = random_pdn(GetParam());
+  for (const bool grounded : {true, false}) {
+    EXPECT_GE(
+        required_discharges(pdn, grounded, PendingModel::kPaperLiteral),
+        required_discharges(pdn, grounded, PendingModel::kCoherent));
+  }
+}
+
+TEST_P(PdnRandomProperty, RequiredPointsAreValidJunctions) {
+  const Pdn pdn = random_pdn(GetParam());
+  for (const bool grounded : {true, false}) {
+    for (const DischargePoint& p : analyze_pbe(pdn, grounded).required) {
+      if (p.at_bottom()) continue;
+      const PdnNode& n = pdn.node(p.series_node);
+      EXPECT_EQ(n.kind, PdnKind::kSeries);
+      EXPECT_LT(p.pos + 1, n.children.size());
+    }
+  }
+}
+
+TEST_P(PdnRandomProperty, ReorderPreservesFunction) {
+  const Pdn before = random_pdn(GetParam());
+  Pdn after = before;
+  reorder_series_stacks(after);
+  for (std::uint32_t a = 0; a < 64; ++a) {
+    EXPECT_EQ(eval(before, a), eval(after, a)) << "assignment " << a;
+  }
+}
+
+TEST_P(PdnRandomProperty, ReorderNeverIncreasesGroundedDischarges) {
+  const Pdn before = random_pdn(GetParam());
+  Pdn top_level = before;
+  reorder_series_stacks(top_level, PendingModel::kCoherent,
+                        /*recursive=*/false);
+  Pdn recursive = before;
+  reorder_series_stacks(recursive, PendingModel::kCoherent,
+                        /*recursive=*/true);
+  const int base = required_discharges(before, true);
+  const int after_top = required_discharges(top_level, true);
+  const int after_rec = required_discharges(recursive, true);
+  EXPECT_LE(after_top, base);
+  EXPECT_LE(after_rec, after_top);
+}
+
+TEST_P(PdnRandomProperty, ReorderIsIdempotent) {
+  Pdn pdn = random_pdn(GetParam());
+  reorder_series_stacks(pdn);
+  const int again = reorder_series_stacks(pdn);
+  EXPECT_EQ(again, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdnRandomProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace soidom

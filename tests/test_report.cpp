@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/report/table.hpp"
+
+namespace soidom {
+namespace {
+
+TEST(ResultTable, RendersAlignedColumns) {
+  ResultTable t({"circuit", "T"});
+  t.add_row({"cm150", "73"});
+  t.add_row({"des", "9069"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| circuit |"), std::string::npos);
+  EXPECT_NE(s.find("|   73 |"), std::string::npos);   // right-aligned number
+  EXPECT_NE(s.find("| cm150   |"), std::string::npos);  // left-aligned text
+}
+
+TEST(ResultTable, SeparatorBeforeAverageRow) {
+  ResultTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"avg"});
+  const std::string s = t.to_string();
+  // header rule + top + bottom + the extra separator = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(ResultTable, CsvExport) {
+  ResultTable t({"x", "y"});
+  t.add_row({"a", "1"});
+  t.add_row({"b", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\na,1\nb,2\n");
+}
+
+TEST(ResultTable, WrongCellCountThrows) {
+  ResultTable t({"x", "y"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(ResultTable, CellFormatters) {
+  EXPECT_EQ(ResultTable::cell(42), "42");
+  EXPECT_EQ(ResultTable::cell(-3), "-3");
+  EXPECT_EQ(ResultTable::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(ResultTable::cell(53.0, 2), "53.00");
+}
+
+TEST(ResultTable, Shape) {
+  ResultTable t({"a", "b", "c"});
+  EXPECT_EQ(t.num_columns(), 3u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace soidom

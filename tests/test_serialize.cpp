@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/domino/serialize.hpp"
+#include "soidom/domino/stats.hpp"
+#include "soidom/domino/verify.hpp"
+#include "soidom/sim/sim.hpp"
+
+namespace soidom {
+namespace {
+
+void expect_same_netlist(const DominoNetlist& a, const DominoNetlist& b) {
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  ASSERT_EQ(a.gates().size(), b.gates().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  for (std::size_t k = 0; k < a.num_inputs(); ++k) {
+    EXPECT_EQ(a.inputs()[k].name, b.inputs()[k].name);
+    EXPECT_EQ(a.inputs()[k].source_pi, b.inputs()[k].source_pi);
+    EXPECT_EQ(a.inputs()[k].negated, b.inputs()[k].negated);
+  }
+  for (std::size_t g = 0; g < a.gates().size(); ++g) {
+    EXPECT_EQ(a.gates()[g].footed, b.gates()[g].footed);
+    EXPECT_TRUE(structurally_equal(a.gates()[g].pdn, b.gates()[g].pdn)) << g;
+    EXPECT_EQ(a.gates()[g].discharges.size(), b.gates()[g].discharges.size());
+  }
+  for (std::size_t j = 0; j < a.outputs().size(); ++j) {
+    EXPECT_EQ(a.outputs()[j].name, b.outputs()[j].name);
+    EXPECT_EQ(a.outputs()[j].signal, b.outputs()[j].signal);
+    EXPECT_EQ(a.outputs()[j].inverted, b.outputs()[j].inverted);
+    EXPECT_EQ(a.outputs()[j].constant, b.outputs()[j].constant);
+  }
+}
+
+class DnlRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DnlRoundTrip, MappedNetlistSurvives) {
+  const Network source = build_benchmark(GetParam());
+  const FlowResult flow = run_flow(source, FlowOptions{});
+  ASSERT_TRUE(flow.ok());
+  const DominoNetlist reparsed = parse_dnl(write_dnl(flow.netlist));
+  expect_same_netlist(flow.netlist, reparsed);
+
+  // Functional identity and unchanged statistics.
+  Rng rng(3);
+  for (int round = 0; round < 4; ++round) {
+    const auto words = random_pi_words(source.pis().size(), rng);
+    EXPECT_EQ(flow.netlist.simulate(words), reparsed.simulate(words));
+  }
+  const DominoStats sa = compute_stats(flow.netlist);
+  const DominoStats sb = compute_stats(reparsed);
+  EXPECT_EQ(sa.t_total, sb.t_total);
+  EXPECT_EQ(sa.t_clock, sb.t_clock);
+  EXPECT_EQ(sa.levels, sb.levels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, DnlRoundTrip,
+                         ::testing::Values("cm150", "z4ml", "cordic",
+                                           "9symml", "c880", "c1908"));
+
+TEST(Dnl, PreservesDischargesAndConstants) {
+  DominoNetlist nl;
+  const std::uint32_t a = nl.add_input({"a", 0, false});
+  const std::uint32_t b = nl.add_input({"b.bar", 1, true});
+  DominoGate g;
+  const PdnIndex par = g.pdn.add_parallel({g.pdn.add_leaf(a), g.pdn.add_leaf(b)});
+  g.pdn.set_root(g.pdn.add_series({par, g.pdn.add_leaf(a)}));
+  g.footed = true;
+  g.discharges.push_back(DischargePoint{});  // bottom
+  g.discharges.push_back(DischargePoint{g.pdn.root(), 0});
+  nl.add_gate(std::move(g));
+  nl.add_output({nl.signal_of_gate(0), "z", true, -1});
+  nl.add_output({0, "one", false, 1});
+
+  const DominoNetlist reparsed = parse_dnl(write_dnl(nl));
+  expect_same_netlist(nl, reparsed);
+  ASSERT_EQ(reparsed.gates()[0].discharges.size(), 2u);
+  EXPECT_TRUE(reparsed.gates()[0].discharges[0].at_bottom());
+  EXPECT_EQ(reparsed.outputs()[1].constant, 1);
+}
+
+TEST(Dnl, Errors) {
+  EXPECT_THROW(parse_dnl(""), Error);
+  EXPECT_THROW(parse_dnl("dnl 2\n"), Error);
+  EXPECT_THROW(parse_dnl("input a 0 0\n"), Error);  // before header
+  EXPECT_THROW(parse_dnl("dnl 1\nbogus x\n"), Error);
+  // Gate referencing a not-yet-defined signal (non-topological).
+  EXPECT_THROW(parse_dnl("dnl 1\ninput a 0 0\ngate 1 (s0.s5)\n"), Error);
+  // Mixed operators in one group.
+  EXPECT_THROW(parse_dnl("dnl 1\ninput a 0 0\ninput b 1 0\ninput c 2 0\n"
+                         "gate 1 (s0.s1+s2)\n"),
+               Error);
+  // Discharge on a nonexistent junction.
+  EXPECT_THROW(parse_dnl("dnl 1\ninput a 0 0\ngate 1 s0\ndisch 0 0 0\n"),
+               Error);
+  // Output referencing an unknown signal.
+  EXPECT_THROW(parse_dnl("dnl 1\ninput a 0 0\noutput z 7 0\n"), Error);
+  // Inputs after gates break the signal encoding.
+  EXPECT_THROW(parse_dnl("dnl 1\ninput a 0 0\ngate 1 s0\ninput b 1 0\n"),
+               Error);
+}
+
+TEST(Dnl, ErrorMentionsLine) {
+  try {
+    parse_dnl("dnl 1\ninput a 0 0\ngate 1 (s0.\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Dnl, FileRoundTrip) {
+  const Network source = testing::fig2_network();
+  const FlowResult flow = run_flow(source, FlowOptions{});
+  const std::string path = ::testing::TempDir() + "/soidom_rt.dnl";
+  write_dnl_file(flow.netlist, path);
+  const DominoNetlist reparsed = parse_dnl_file(path);
+  expect_same_netlist(flow.netlist, reparsed);
+  EXPECT_THROW(parse_dnl_file("/nonexistent.dnl"), Error);
+}
+
+}  // namespace
+}  // namespace soidom

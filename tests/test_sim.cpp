@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "soidom/blif/blif.hpp"
+#include "soidom/decomp/decompose.hpp"
+#include "soidom/sim/sim.hpp"
+
+namespace soidom {
+namespace {
+
+TEST(Sim, ConstantsAndPis) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("x");
+  b.add_output(x, "x_out");
+  b.add_output(b.const1(), "one");
+  b.add_output(b.const0(), "zero");
+  const Network net = std::move(b).build();
+  const auto out = simulate_outputs(net, {0xAAAAu});
+  EXPECT_EQ(out[0], 0xAAAAu);
+  EXPECT_EQ(out[1], ~SimWord{0});
+  EXPECT_EQ(out[2], 0u);
+}
+
+TEST(Sim, GateSemantics) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("x");
+  const NodeId y = b.add_pi("y");
+  b.add_output(b.add_and(x, y), "and");
+  b.add_output(b.add_or(x, y), "or");
+  b.add_output(b.add_inv(x), "inv");
+  const Network net = std::move(b).build();
+  const SimWord wx = 0b1100;
+  const SimWord wy = 0b1010;
+  const auto out = simulate_outputs(net, {wx, wy});
+  EXPECT_EQ(out[0], wx & wy);
+  EXPECT_EQ(out[1], wx | wy);
+  EXPECT_EQ(out[2], ~wx);
+}
+
+TEST(Sim, EvaluateSingleVector) {
+  const Network net = testing::fig2_network();  // (A+B+C)*D
+  EXPECT_FALSE(evaluate(net, {true, false, false, false})[0]);
+  EXPECT_TRUE(evaluate(net, {true, false, false, true})[0]);
+  EXPECT_FALSE(evaluate(net, {false, false, false, true})[0]);
+}
+
+TEST(Sim, BitParallelMatchesScalar) {
+  const Network net = testing::full_adder_network();
+  Rng rng(5);
+  const auto words = random_pi_words(net.pis().size(), rng);
+  const auto out = simulate_outputs(net, words);
+  for (int bit = 0; bit < 64; ++bit) {
+    std::vector<bool> in;
+    for (const SimWord w : words) in.push_back(((w >> bit) & 1) != 0);
+    const auto scalar = evaluate(net, in);
+    for (std::size_t j = 0; j < scalar.size(); ++j) {
+      EXPECT_EQ(scalar[j], ((out[j] >> bit) & 1) != 0);
+    }
+  }
+}
+
+TEST(Sim, EquivalenceDetectsDifference) {
+  NetworkBuilder b1;
+  {
+    const NodeId x = b1.add_pi("x");
+    const NodeId y = b1.add_pi("y");
+    b1.add_output(b1.add_and(x, y), "z");
+  }
+  NetworkBuilder b2;
+  {
+    const NodeId x = b2.add_pi("x");
+    const NodeId y = b2.add_pi("y");
+    b2.add_output(b2.add_or(x, y), "z");
+  }
+  const Network a = std::move(b1).build();
+  const Network c = std::move(b2).build();
+  Rng rng(17);
+  EXPECT_FALSE(equivalent_by_simulation(a, c, 4, rng));
+  EXPECT_TRUE(equivalent_by_simulation(a, a, 4, rng));
+}
+
+TEST(Sim, WrongPiCountThrows) {
+  const Network net = testing::fig2_network();
+  EXPECT_THROW(simulate_outputs(net, {1, 2}), Error);
+}
+
+TEST(Sim, BlifModelOracleAgreesWithDecomposition) {
+  const BlifModel m = parse_blif(
+      ".model mix\n.inputs a b c d\n.outputs p q\n"
+      ".names a b t\n10 1\n01 1\n"
+      ".names t c d p\n1-0 1\n-11 1\n"
+      ".names t q\n0 1\n.end\n");
+  const Network net = decompose(m);
+  for (int v = 0; v < 16; ++v) {
+    std::vector<bool> in;
+    for (int i = 0; i < 4; ++i) in.push_back(((v >> i) & 1) != 0);
+    EXPECT_EQ(evaluate(m, in), evaluate(net, in)) << "vector " << v;
+  }
+}
+
+TEST(Sim, RandomWordsDeterministicPerSeed) {
+  Rng r1(1234);
+  Rng r2(1234);
+  EXPECT_EQ(random_pi_words(5, r1), random_pi_words(5, r2));
+}
+
+}  // namespace
+}  // namespace soidom

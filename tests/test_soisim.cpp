@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/domino/postpass.hpp"
+#include "soidom/soisim/soisim.hpp"
+
+namespace soidom {
+namespace {
+
+/// The paper's Fig. 2 gate (A+B+C)*D with the parallel stack ON TOP.
+DominoNetlist fig2_gate(bool with_discharge) {
+  DominoNetlist nl;
+  const std::uint32_t a = nl.add_input({"A", 0, false});
+  const std::uint32_t b = nl.add_input({"B", 1, false});
+  const std::uint32_t c = nl.add_input({"C", 2, false});
+  const std::uint32_t d = nl.add_input({"D", 3, false});
+  DominoGate g;
+  const PdnIndex par = g.pdn.add_parallel(
+      {g.pdn.add_leaf(a), g.pdn.add_leaf(b), g.pdn.add_leaf(c)});
+  g.pdn.set_root(g.pdn.add_series({par, g.pdn.add_leaf(d)}));
+  g.footed = true;
+  nl.add_gate(std::move(g));
+  nl.add_output({nl.signal_of_gate(0), "f", false, -1});
+  if (with_discharge) {
+    // Protect node 1 (the junction below the parallel stack).
+    insert_discharges(nl, GroundingPolicy::kNoneGrounded);
+  }
+  return nl;
+}
+
+/// Drive the paper's killer sequence; returns #wrong evaluations.
+int run_paper_scenario(SoiSimulator& sim) {
+  int wrong = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    if (!sim.step({true, false, false, false}).correct()) ++wrong;
+  }
+  if (!sim.step({false, false, false, true}).correct()) ++wrong;
+  return wrong;
+}
+
+TEST(SoiSim, Fig2FailsWithoutProtection) {
+  const DominoNetlist nl = fig2_gate(/*with_discharge=*/false);
+  SoiSimulator sim(nl);
+  EXPECT_GT(run_paper_scenario(sim), 0);
+  EXPECT_FALSE(sim.history().empty());
+  EXPECT_TRUE(sim.history().front().corrupted_gate);
+}
+
+TEST(SoiSim, Fig2SafeWithDischargeTransistor) {
+  const DominoNetlist nl = fig2_gate(/*with_discharge=*/true);
+  ASSERT_FALSE(nl.gates()[0].discharges.empty());
+  SoiSimulator sim(nl);
+  EXPECT_EQ(run_paper_scenario(sim), 0);
+  EXPECT_TRUE(sim.history().empty());
+}
+
+TEST(SoiSim, Fig2SafeWithReorderedStack) {
+  // Parallel stack at the bottom: bodies can never charge because the
+  // foot node is discharged every evaluate (transformation 4).
+  DominoNetlist nl;
+  const std::uint32_t a = nl.add_input({"A", 0, false});
+  const std::uint32_t b = nl.add_input({"B", 1, false});
+  const std::uint32_t c = nl.add_input({"C", 2, false});
+  const std::uint32_t d = nl.add_input({"D", 3, false});
+  DominoGate g;
+  const PdnIndex par = g.pdn.add_parallel(
+      {g.pdn.add_leaf(a), g.pdn.add_leaf(b), g.pdn.add_leaf(c)});
+  g.pdn.set_root(g.pdn.add_series({g.pdn.add_leaf(d), par}));
+  g.footed = true;
+  nl.add_gate(std::move(g));
+  nl.add_output({nl.signal_of_gate(0), "f", false, -1});
+  SoiSimulator sim(nl);
+  EXPECT_EQ(run_paper_scenario(sim), 0);
+  EXPECT_TRUE(sim.history().empty());
+}
+
+TEST(SoiSim, PbeDisabledConfigNeverFails) {
+  const DominoNetlist nl = fig2_gate(false);
+  SoiSimConfig config;
+  config.enable_pbe = false;
+  SoiSimulator sim(nl, config);
+  EXPECT_EQ(run_paper_scenario(sim), 0);
+}
+
+TEST(SoiSim, HigherThresholdDelaysFailure) {
+  const DominoNetlist nl = fig2_gate(false);
+  SoiSimConfig config;
+  config.body_charge_threshold = 10;  // more cycles needed to charge
+  SoiSimulator sim(nl, config);
+  // Only 5 charge cycles: body never saturates, no PBE.
+  EXPECT_EQ(run_paper_scenario(sim), 0);
+  // But 12 charge cycles saturate it.
+  sim.reset();
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    EXPECT_TRUE(sim.step({true, false, false, false}).correct());
+  }
+  EXPECT_FALSE(sim.step({false, false, false, true}).correct());
+}
+
+TEST(SoiSim, BodyChargeVisibleAndResettable) {
+  const DominoNetlist nl = fig2_gate(false);
+  SoiSimulator sim(nl);
+  EXPECT_EQ(sim.max_body_charge(0), 0);
+  for (int cycle = 0; cycle < 4; ++cycle) sim.step({true, false, false, false});
+  EXPECT_EQ(sim.max_body_charge(0), 3);  // saturated at the threshold
+  sim.reset();
+  EXPECT_EQ(sim.max_body_charge(0), 0);
+  EXPECT_EQ(sim.cycle(), 0);
+}
+
+TEST(SoiSim, FunctionalAgreementWithoutAdversarialHistory) {
+  // On random input streams the mapped SOI netlist must track the ideal
+  // function (the mapper protected everything the model requires).
+  const Network source = testing::full_adder_network();
+  const FlowResult flow = run_flow(source, FlowOptions{});
+  SoiSimulator sim(flow.netlist);
+  Rng rng(77);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    std::vector<bool> in;
+    for (std::size_t k = 0; k < source.pis().size(); ++k) {
+      in.push_back(rng.chance(1, 2));
+    }
+    const CycleResult r = sim.step(in);
+    EXPECT_TRUE(r.correct()) << "cycle " << cycle;
+  }
+}
+
+TEST(SoiSim, ConservativelyMappedBenchmarksSurviveRandomStreams) {
+  // The fully conservative protection level (paper-literal pending model +
+  // no grounding forgiveness) puts a discharge transistor on every
+  // junction, which is absolute protection in the device model: no node
+  // can be high at the end of precharge, so no body-charged transistor
+  // ever sees its source fall.
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    const Network source = testing::random_network(8, 60, 4, seed);
+    FlowOptions opts;
+    opts.mapper.pending_model = PendingModel::kPaperLiteral;
+    opts.mapper.grounding = GroundingPolicy::kNoneGrounded;
+    const FlowResult flow = run_flow(source, opts);
+    SoiSimulator sim(flow.netlist);
+    Rng rng(seed * 31);
+    for (int cycle = 0; cycle < 100; ++cycle) {
+      std::vector<bool> in;
+      for (std::size_t k = 0; k < source.pis().size(); ++k) {
+        in.push_back(rng.chance(1, 2));
+      }
+      EXPECT_TRUE(sim.step(in).correct()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SoiSim, ModelDivergenceOnNestedStacks) {
+  // Documented reproduction finding (EXPERIMENTS.md): the paper's model
+  // forgives pending discharge points once a stack bottom reaches ground,
+  // but for NESTED structures the physics disagrees — internal junctions
+  // of a grounded parallel stack still float high across precharge, and a
+  // cascade of parasitic firings can corrupt the dynamic node.
+  //
+  // Gate (footless): X in series over P = (C*D + E); junctions j1 = X/P
+  // and j2 = C/D are "pending, safe" under the grounded coherent model.
+  auto build = [](bool conservative) {
+    DominoNetlist nl;
+    // Four footed feeder buffers so the main gate is footless.
+    std::uint32_t literal[4];
+    for (int i = 0; i < 4; ++i) {
+      literal[i] = nl.add_input(
+          {std::string(1, static_cast<char>('a' + i)), i, false});
+    }
+    std::uint32_t feeder[4];
+    for (int i = 0; i < 4; ++i) {
+      DominoGate buf;
+      buf.pdn.set_root(buf.pdn.add_leaf(literal[i]));
+      buf.footed = true;
+      feeder[i] = nl.add_gate(std::move(buf));
+    }
+    DominoGate g;
+    const PdnIndex cd =
+        g.pdn.add_series({g.pdn.add_leaf(feeder[1]), g.pdn.add_leaf(feeder[2])});
+    const PdnIndex par = g.pdn.add_parallel({cd, g.pdn.add_leaf(feeder[3])});
+    g.pdn.set_root(g.pdn.add_series({g.pdn.add_leaf(feeder[0]), par}));
+    g.footed = false;
+    nl.add_gate(std::move(g));
+    nl.add_output({nl.signal_of_gate(4), "f", false, -1});
+    insert_discharges(nl,
+                      conservative ? GroundingPolicy::kNoneGrounded
+                                   : GroundingPolicy::kAllGrounded,
+                      conservative ? PendingModel::kPaperLiteral
+                                   : PendingModel::kCoherent);
+    return nl;
+  };
+
+  const DominoNetlist optimistic = build(false);
+  EXPECT_TRUE(optimistic.gates()[4].discharges.empty());  // model: "safe"
+
+  auto scenario = [](SoiSimulator& sim) {
+    int wrong = 0;
+    // Charge j1 and j2 (X and C conducting), then let X and C float off
+    // while the junctions hold their charge, then fire D.
+    for (int i = 0; i < 2; ++i) {
+      if (!sim.step({true, true, false, false}).correct()) ++wrong;
+    }
+    for (int i = 0; i < 4; ++i) {
+      if (!sim.step({false, false, false, false}).correct()) ++wrong;
+    }
+    if (!sim.step({false, false, true, false}).correct()) ++wrong;
+    return wrong;
+  };
+
+  SoiSimulator opt_sim(optimistic);
+  EXPECT_GT(scenario(opt_sim), 0) << "expected the documented divergence";
+
+  const DominoNetlist conservative = build(true);
+  EXPECT_FALSE(conservative.gates()[4].discharges.empty());
+  SoiSimulator cons_sim(conservative);
+  EXPECT_EQ(scenario(cons_sim), 0);
+}
+
+TEST(SoiSim, UnprotectedBulkMappingEventuallyFails) {
+  // Differential experiment: the bulk structure WITHOUT its discharge
+  // transistors must fail under a crafted hold-then-fire stream.
+  DominoNetlist nl = fig2_gate(false);
+  SoiSimulator sim(nl);
+  int wrong = 0;
+  // Cycle through hold patterns ending in sudden pulldowns.
+  for (int round = 0; round < 4; ++round) {
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      if (!sim.step({true, false, false, false}).correct()) ++wrong;
+    }
+    if (!sim.step({false, false, false, true}).correct()) ++wrong;
+  }
+  EXPECT_GT(wrong, 0);
+}
+
+TEST(SoiSim, OutputsMatchNetlistSimulatorWhenSafe) {
+  const Network source = testing::fig3_network();
+  const FlowResult flow = run_flow(source, FlowOptions{});
+  SoiSimulator sim(flow.netlist);
+  Rng rng(5);
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    std::vector<bool> in;
+    std::vector<SimWord> words;
+    for (std::size_t k = 0; k < source.pis().size(); ++k) {
+      const bool v = rng.chance(1, 2);
+      in.push_back(v);
+      words.push_back(v ? ~SimWord{0} : 0);
+    }
+    const CycleResult r = sim.step(in);
+    const auto ref = flow.netlist.simulate(words);
+    for (std::size_t j = 0; j < ref.size(); ++j) {
+      EXPECT_EQ(r.outputs[j], (ref[j] & 1) != 0);
+    }
+  }
+}
+
+
+TEST(SoiSimTrace, VcdStructureAndEvents) {
+  const DominoNetlist nl = fig2_gate(/*with_discharge=*/false);
+  SoiSimulator sim(nl);
+  sim.enable_trace({"A", "B", "C", "D"});
+  for (int cycle = 0; cycle < 5; ++cycle) sim.step({true, false, false, false});
+  sim.step({false, false, false, true});  // the killer cycle
+  const std::string vcd = sim.trace_vcd();
+
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find(" A $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" gate0 $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" body0 $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" pbe_event $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  // One timestep per cycle plus the closing stamp.
+  for (int t = 0; t <= 6; ++t) {
+    EXPECT_NE(vcd.find("#" + std::to_string(t) + "\n"), std::string::npos);
+  }
+  // Body counter reaches the saturation value 3 ("b00000011").
+  EXPECT_NE(vcd.find("b00000011"), std::string::npos);
+}
+
+TEST(SoiSimTrace, RequiresEnable) {
+  const DominoNetlist nl = fig2_gate(true);
+  SoiSimulator sim(nl);
+  EXPECT_THROW(sim.trace_vcd(), Error);
+}
+
+TEST(SoiSimTrace, ResetClearsSamples) {
+  const DominoNetlist nl = fig2_gate(true);
+  SoiSimulator sim(nl);
+  sim.enable_trace({"A", "B", "C", "D"});
+  sim.step({true, false, false, false});
+  sim.reset();
+  sim.step({true, false, false, false});
+  const std::string vcd = sim.trace_vcd();
+  // Exactly samples #0 and the closing #1 stamp.
+  EXPECT_NE(vcd.find("#0\n"), std::string::npos);
+  EXPECT_NE(vcd.find("#1\n"), std::string::npos);
+  EXPECT_EQ(vcd.find("#2\n"), std::string::npos);
+}
+
+
+TEST(SoiSimKeeper, StrongKeeperResistsSingleFiring) {
+  // series(parallel(A,B), D) with only B's body charged: one parasitic
+  // firing.  keeper_strength 2 must hold the node; 1 must lose it.
+  DominoNetlist nl;
+  const std::uint32_t a = nl.add_input({"A", 0, false});
+  const std::uint32_t b = nl.add_input({"B", 1, false});
+  const std::uint32_t d = nl.add_input({"D", 2, false});
+  DominoGate g;
+  const PdnIndex par = g.pdn.add_parallel({g.pdn.add_leaf(a), g.pdn.add_leaf(b)});
+  g.pdn.set_root(g.pdn.add_series({par, g.pdn.add_leaf(d)}));
+  g.footed = true;
+  nl.add_gate(std::move(g));
+  nl.add_output({nl.signal_of_gate(0), "f", false, -1});
+
+  auto scenario = [](SoiSimulator& sim) {
+    int wrong = 0;
+    for (int c = 0; c < 4; ++c) {
+      if (!sim.step({true, false, false}).correct()) ++wrong;  // charge B
+    }
+    if (!sim.step({false, false, true}).correct()) ++wrong;    // fire D
+    return wrong;
+  };
+
+  SoiSimConfig weak;  // default keeper_strength = 1
+  SoiSimulator weak_sim(nl, weak);
+  EXPECT_GT(scenario(weak_sim), 0);
+
+  SoiSimConfig strong;
+  strong.keeper_strength = 2;
+  SoiSimulator strong_sim(nl, strong);
+  EXPECT_EQ(scenario(strong_sim), 0);
+  // The parasitic device still fired; the keeper just won the fight.
+  EXPECT_FALSE(strong_sim.history().empty());
+}
+
+TEST(SoiSimKeeper, WideStackOverpowersStrongKeeper) {
+  // Fig. 2's 3-wide stack fires B and C together: keeper_strength 2 still
+  // loses, 3 holds.
+  const DominoNetlist nl = fig2_gate(false);
+  auto scenario = [](SoiSimulator& sim) {
+    int wrong = 0;
+    for (int c = 0; c < 4; ++c) {
+      if (!sim.step({true, false, false, false}).correct()) ++wrong;
+    }
+    if (!sim.step({false, false, false, true}).correct()) ++wrong;
+    return wrong;
+  };
+  SoiSimConfig k2;
+  k2.keeper_strength = 2;
+  SoiSimulator sim2(nl, k2);
+  EXPECT_GT(scenario(sim2), 0);
+
+  SoiSimConfig k3;
+  k3.keeper_strength = 3;
+  SoiSimulator sim3(nl, k3);
+  EXPECT_EQ(scenario(sim3), 0);
+}
+
+TEST(SoiSimKeeper, LegitimateDischargeAlwaysWins) {
+  // keeper_strength must never block real evaluations.
+  const DominoNetlist nl = fig2_gate(false);
+  SoiSimConfig config;
+  config.keeper_strength = 100;
+  SoiSimulator sim(nl, config);
+  const CycleResult r = sim.step({true, false, false, true});  // A&D: f=1
+  EXPECT_TRUE(r.correct());
+  EXPECT_TRUE(r.outputs[0]);
+}
+
+}  // namespace
+}  // namespace soidom

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/domino/postpass.hpp"
+#include "soidom/timing/timing.hpp"
+
+namespace soidom {
+namespace {
+
+DominoNetlist two_level_netlist() {
+  DominoNetlist nl;
+  const std::uint32_t a = nl.add_input({"a", 0, false});
+  const std::uint32_t b = nl.add_input({"b", 1, false});
+  const std::uint32_t c = nl.add_input({"c", 2, false});
+  DominoGate g0;  // a & b, footed
+  g0.pdn.set_root(g0.pdn.add_series({g0.pdn.add_leaf(a), g0.pdn.add_leaf(b)}));
+  g0.footed = true;
+  nl.add_gate(std::move(g0));
+  DominoGate g1;  // g0 | c, footed
+  g1.pdn.set_root(g1.pdn.add_parallel(
+      {g1.pdn.add_leaf(nl.signal_of_gate(0)), g1.pdn.add_leaf(c)}));
+  g1.footed = true;
+  nl.add_gate(std::move(g1));
+  nl.add_output({nl.signal_of_gate(1), "z", false, -1});
+  return nl;
+}
+
+TEST(FloatingBody, SeriesJunctionFloats) {
+  const DominoNetlist nl = two_level_netlist();
+  // g0: a over b — a's source is the undischarged a/b junction.
+  EXPECT_EQ(floating_body_transistors(nl.gates()[0]), 1);
+  // g1: flat parallel — both sources at the foot node, pinned every cycle.
+  EXPECT_EQ(floating_body_transistors(nl.gates()[1]), 0);
+}
+
+TEST(FloatingBody, DischargePinsTheJunction) {
+  DominoNetlist nl = two_level_netlist();
+  DominoGate& g0 = nl.gates()[0];
+  // Discharge the a/b junction: find the series node.
+  const PdnNode& root = g0.pdn.node(g0.pdn.root());
+  ASSERT_EQ(root.kind, PdnKind::kSeries);
+  g0.discharges.push_back(DischargePoint{g0.pdn.root(), 0});
+  EXPECT_EQ(floating_body_transistors(g0), 0);
+}
+
+TEST(FloatingBody, NestedParallelJunctions) {
+  // series(x, parallel(series(y, z), w)): floating junctions are x's
+  // source (x/par) and y's source (y/z); z and w sit on the bottom.
+  DominoNetlist nl;
+  const std::uint32_t x = nl.add_input({"x", 0, false});
+  const std::uint32_t y = nl.add_input({"y", 1, false});
+  const std::uint32_t z = nl.add_input({"z", 2, false});
+  const std::uint32_t w = nl.add_input({"w", 3, false});
+  DominoGate g;
+  const PdnIndex yz = g.pdn.add_series({g.pdn.add_leaf(y), g.pdn.add_leaf(z)});
+  const PdnIndex par = g.pdn.add_parallel({yz, g.pdn.add_leaf(w)});
+  g.pdn.set_root(g.pdn.add_series({g.pdn.add_leaf(x), par}));
+  g.footed = true;
+  nl.add_gate(std::move(g));
+  nl.add_output({nl.signal_of_gate(0), "f", false, -1});
+  EXPECT_EQ(floating_body_transistors(nl.gates()[0]), 2);
+}
+
+TEST(Timing, ArrivalAccumulatesThroughLevels) {
+  const DominoNetlist nl = two_level_netlist();
+  const TimingReport t = analyze_timing(nl);
+  ASSERT_EQ(t.gates.size(), 2u);
+  EXPECT_GT(t.gates[0].delay_min, 0.0);
+  EXPECT_GT(t.gates[1].arrival_min, t.gates[0].arrival_min);
+  EXPECT_DOUBLE_EQ(t.gates[1].arrival_min,
+                   t.gates[0].arrival_min + t.gates[1].delay_min);
+  EXPECT_DOUBLE_EQ(t.critical_min, t.gates[1].arrival_min);
+}
+
+TEST(Timing, HysteresisComesFromFloatingBodies) {
+  const DominoNetlist nl = two_level_netlist();
+  DelayModel model;
+  const TimingReport t = analyze_timing(nl, model);
+  // Only g0 has a floating-body transistor.
+  EXPECT_NEAR(t.hysteresis(), model.body_uncertainty, 1e-9);
+  DelayModel no_body = model;
+  no_body.body_uncertainty = 0.0;
+  EXPECT_DOUBLE_EQ(analyze_timing(nl, no_body).hysteresis(), 0.0);
+}
+
+TEST(Timing, CriticalPathEndsAtCriticalOutput) {
+  const FlowResult r = run_flow(build_benchmark("cm150"), FlowOptions{});
+  const TimingReport t = analyze_timing(r.netlist);
+  ASSERT_FALSE(t.critical_path.empty());
+  // Path gates are in increasing-arrival order.
+  for (std::size_t k = 1; k < t.critical_path.size(); ++k) {
+    EXPECT_LT(t.gates[t.critical_path[k - 1]].arrival_max,
+              t.gates[t.critical_path[k]].arrival_max);
+  }
+  EXPECT_DOUBLE_EQ(t.gates[t.critical_path.back()].arrival_max,
+                   t.critical_max);
+}
+
+TEST(Timing, ProtectionReducesHysteresisVsRaw) {
+  // Raw bulk-in-SOI (no discharge transistors) must show at least as much
+  // hysteresis as the protected flows, on every benchmark checked.
+  for (const char* name : {"cm150", "cordic", "c880", "t481"}) {
+    FlowOptions dm;
+    dm.variant = FlowVariant::kDominoMap;
+    FlowResult protected_flow = run_flow(build_benchmark(name), dm);
+    FlowResult raw_flow = run_flow(build_benchmark(name), dm);
+    for (DominoGate& g : raw_flow.netlist.gates()) g.discharges.clear();
+    const double protected_h =
+        analyze_timing(protected_flow.netlist).hysteresis();
+    const double raw_h = analyze_timing(raw_flow.netlist).hysteresis();
+    EXPECT_LE(protected_h, raw_h) << name;
+  }
+}
+
+TEST(Timing, DepthMappingShortensCriticalDelay) {
+  const Network source = build_benchmark("cm150");
+  FlowOptions area;
+  FlowOptions depth;
+  depth.mapper.objective = CostObjective::kDepth;
+  const TimingReport ta = analyze_timing(run_flow(source, area).netlist);
+  const TimingReport td = analyze_timing(run_flow(source, depth).netlist);
+  EXPECT_LE(td.critical_min, ta.critical_min * 1.5);  // sanity ballpark
+}
+
+TEST(Timing, ReportMentionsKeyNumbers) {
+  const FlowResult r = run_flow(testing::fig2_network(), FlowOptions{});
+  const std::string s = analyze_timing(r.netlist).to_string();
+  EXPECT_NE(s.find("critical delay"), std::string::npos);
+  EXPECT_NE(s.find("hysteresis"), std::string::npos);
+  EXPECT_NE(s.find("critical path"), std::string::npos);
+}
+
+TEST(Timing, EmptyAndConstantOnlyNetlists) {
+  DominoNetlist nl;
+  nl.add_output({0, "one", false, 1});
+  const TimingReport t = analyze_timing(nl);
+  EXPECT_DOUBLE_EQ(t.critical_max, 0.0);
+  EXPECT_TRUE(t.critical_path.empty());
+}
+
+}  // namespace
+}  // namespace soidom

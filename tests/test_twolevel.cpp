@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "soidom/base/rng.hpp"
+#include "soidom/twolevel/cube_ops.hpp"
+#include "soidom/twolevel/minimize.hpp"
+
+namespace soidom {
+namespace {
+
+Cube make_cube(const std::string& pattern) {
+  Cube c;
+  for (const char ch : pattern) {
+    c.lits.push_back(ch == '1' ? CubeLit::kPos
+                               : (ch == '0' ? CubeLit::kNeg
+                                            : CubeLit::kDontCare));
+  }
+  return c;
+}
+
+SopCover make_cover(std::size_t inputs,
+                    const std::vector<std::string>& patterns,
+                    bool on_set = true) {
+  SopCover s{inputs, {}, on_set};
+  for (const auto& p : patterns) s.cubes.push_back(make_cube(p));
+  return s;
+}
+
+/// Exhaustive equivalence of two covers (inputs <= ~16).
+void expect_equivalent(const SopCover& a, const SopCover& b) {
+  ASSERT_EQ(a.num_inputs, b.num_inputs);
+  for (std::uint32_t m = 0; m < (1u << a.num_inputs); ++m) {
+    std::vector<bool> in;
+    for (std::size_t v = 0; v < a.num_inputs; ++v) {
+      in.push_back(((m >> v) & 1) != 0);
+    }
+    ASSERT_EQ(a.eval(in), b.eval(in)) << "minterm " << m;
+  }
+}
+
+TEST(CubeOps, Containment) {
+  EXPECT_TRUE(cube_contains(make_cube("1--"), make_cube("11-")));
+  EXPECT_TRUE(cube_contains(make_cube("---"), make_cube("010")));
+  EXPECT_FALSE(cube_contains(make_cube("11-"), make_cube("1--")));
+  EXPECT_FALSE(cube_contains(make_cube("0--"), make_cube("1--")));
+}
+
+TEST(CubeOps, SupercubeAndDistance) {
+  const Cube sc = supercube(make_cube("110"), make_cube("100"));
+  EXPECT_TRUE(cube_contains(sc, make_cube("110")));
+  EXPECT_TRUE(cube_contains(sc, make_cube("100")));
+  EXPECT_EQ(sc.care_count(), 2);
+  EXPECT_EQ(cube_distance(make_cube("110"), make_cube("100")), 1);
+  EXPECT_EQ(cube_distance(make_cube("11-"), make_cube("00-")), 2);
+  EXPECT_EQ(cube_distance(make_cube("1--"), make_cube("-0-")), 0);
+}
+
+TEST(CubeOps, Cofactor) {
+  const auto cf = cofactor({make_cube("1-0"), make_cube("01-")}, 0, true);
+  ASSERT_EQ(cf.size(), 1u);  // the 0-phase cube drops
+  EXPECT_EQ(cf[0].lits[0], CubeLit::kDontCare);
+  EXPECT_EQ(cf[0].lits[2], CubeLit::kNeg);
+}
+
+TEST(CubeOps, TautologyBasics) {
+  EXPECT_TRUE(is_tautology({make_cube("---")}, 3));
+  EXPECT_FALSE(is_tautology({}, 3));
+  EXPECT_FALSE(is_tautology({make_cube("1--")}, 3));
+  // x + !x
+  EXPECT_TRUE(is_tautology({make_cube("1--"), make_cube("0--")}, 3));
+  // xy + x!y + !x
+  EXPECT_TRUE(is_tautology(
+      {make_cube("11-"), make_cube("10-"), make_cube("0--")}, 3));
+  // xy + !x!y is not a tautology
+  EXPECT_FALSE(is_tautology({make_cube("11-"), make_cube("00-")}, 3));
+}
+
+TEST(CubeOps, CoverContainsCube) {
+  const std::vector<Cube> f = {make_cube("11-"), make_cube("-11")};
+  EXPECT_TRUE(cover_contains_cube(f, 3, make_cube("111")));
+  EXPECT_TRUE(cover_contains_cube(f, 3, make_cube("11-")));
+  EXPECT_FALSE(cover_contains_cube(f, 3, make_cube("1--")));
+}
+
+TEST(Minimize, ConsensusMerge) {
+  // ab + a!b == a
+  const SopCover c = make_cover(2, {"11", "10"});
+  const SopCover m = minimize(c);
+  expect_equivalent(c, m);
+  ASSERT_EQ(m.cubes.size(), 1u);
+  EXPECT_EQ(m.cubes[0].care_count(), 1);
+}
+
+TEST(Minimize, RedundantCubeRemoved) {
+  // ab + bc + a c? classic: ab + !ac + bc -> bc redundant
+  const SopCover c = make_cover(3, {"11-", "0-1", "-11"});
+  const SopCover m = minimize(c);
+  expect_equivalent(c, m);
+  EXPECT_EQ(m.cubes.size(), 2u);
+}
+
+TEST(Minimize, CollapsesTautologyToUniversalCube) {
+  const SopCover c = make_cover(2, {"1-", "01", "00"});
+  const SopCover m = minimize(c);
+  expect_equivalent(c, m);
+  ASSERT_EQ(m.cubes.size(), 1u);
+  EXPECT_EQ(m.cubes[0].care_count(), 0);
+}
+
+TEST(Minimize, XorStaysTwoCubes) {
+  const SopCover c = make_cover(2, {"10", "01"});
+  const SopCover m = minimize(c);
+  expect_equivalent(c, m);
+  EXPECT_EQ(m.cubes.size(), 2u);
+  EXPECT_EQ(literal_count(m.cubes), 4);
+}
+
+TEST(Minimize, OffSetPolarityPreserved) {
+  SopCover c = make_cover(3, {"11-", "10-"}, /*on_set=*/false);
+  const SopCover m = minimize(c);
+  EXPECT_FALSE(m.on_set);
+  expect_equivalent(c, m);
+  EXPECT_EQ(m.cubes.size(), 1u);
+}
+
+TEST(Minimize, ConstantsUntouched) {
+  EXPECT_EQ(minimize(SopCover::const_zero()).cubes.size(), 0u);
+  bool v = false;
+  EXPECT_TRUE(minimize(SopCover::const_one()).is_constant(v));
+  EXPECT_TRUE(v);
+}
+
+TEST(Minimize, StatsReported) {
+  MinimizeStats stats;
+  minimize(make_cover(2, {"11", "10"}), {}, &stats);
+  EXPECT_EQ(stats.cubes_before, 2);
+  EXPECT_EQ(stats.cubes_after, 1);
+  EXPECT_EQ(stats.literals_before, 4);
+  EXPECT_EQ(stats.literals_after, 1);
+}
+
+TEST(Minimize, WideCoverUsesHeuristicEngine) {
+  // 12 inputs forces espresso-lite (exact_input_limit default 10).
+  SopCover c{12, {}, true};
+  // f = x0 + x0!x1 + x1x2...x5 (second cube redundant given first)
+  c.cubes.push_back(make_cube("1-----------"));
+  c.cubes.push_back(make_cube("10----------"));
+  c.cubes.push_back(make_cube("-11111------"));
+  const SopCover m = minimize(c);
+  EXPECT_EQ(m.cubes.size(), 2u);
+  Rng rng(3);
+  for (int r = 0; r < 200; ++r) {
+    std::vector<bool> in;
+    for (int v = 0; v < 12; ++v) in.push_back(rng.chance(1, 2));
+    EXPECT_EQ(c.eval(in), m.eval(in));
+  }
+}
+
+class MinimizeRandomProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MinimizeRandomProperty, PreservesFunctionAndNeverGrows) {
+  Rng rng(GetParam());
+  const std::size_t inputs = 3 + rng.next_below(5);  // 3..7: exact engine
+  SopCover c{inputs, {}, rng.chance(1, 2)};
+  const int cubes = 1 + static_cast<int>(rng.next_below(8));
+  for (int k = 0; k < cubes; ++k) {
+    Cube cube;
+    for (std::size_t v = 0; v < inputs; ++v) {
+      switch (rng.next_below(3)) {
+        case 0: cube.lits.push_back(CubeLit::kPos); break;
+        case 1: cube.lits.push_back(CubeLit::kNeg); break;
+        default: cube.lits.push_back(CubeLit::kDontCare); break;
+      }
+    }
+    c.cubes.push_back(std::move(cube));
+  }
+  const SopCover m = minimize(c);
+  expect_equivalent(c, m);
+  EXPECT_LE(m.cubes.size(), c.cubes.size());
+  EXPECT_LE(literal_count(m.cubes), literal_count(c.cubes));
+  // Idempotence.
+  const SopCover mm = minimize(m);
+  EXPECT_EQ(mm.cubes.size(), m.cubes.size());
+  EXPECT_EQ(literal_count(mm.cubes), literal_count(m.cubes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeRandomProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(MinimizeModel, AllTablesMinimized) {
+  BlifModel model = parse_blif(
+      ".model t\n.inputs a b c\n.outputs y z\n"
+      ".names a b y\n11 1\n10 1\n"
+      ".names a b c z\n11- 1\n0-1 1\n-11 1\n.end\n");
+  const MinimizeStats stats = minimize_tables(model);
+  EXPECT_EQ(stats.cubes_before, 5);
+  EXPECT_LT(stats.cubes_after, stats.cubes_before);
+}
+
+}  // namespace
+}  // namespace soidom

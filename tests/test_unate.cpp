@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "soidom/sim/sim.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace soidom {
+namespace {
+
+TEST(Unate, AlreadyUnatePassesThrough) {
+  const Network net = testing::fig2_network();
+  const UnateResult u = make_unate(net);
+  EXPECT_TRUE(u.net.is_unate());
+  EXPECT_EQ(u.net.stats().num_gates(), net.stats().num_gates());
+  EXPECT_DOUBLE_EQ(u.duplication_ratio, 1.0);
+  for (const auto& lits : u.pi_literals) {
+    EXPECT_GE(lits.pos, 0);
+    EXPECT_EQ(lits.neg, -1);  // no complemented literals needed
+  }
+}
+
+TEST(Unate, OutputInverterBecomesPhase) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("x");
+  const NodeId y = b.add_pi("y");
+  b.add_output(b.add_inv(b.add_and(x, y)), "nand");
+  const Network net = std::move(b).build();
+  const UnateResult u = make_unate(net);
+  EXPECT_TRUE(u.net.is_unate());
+  ASSERT_EQ(u.po_inverted.size(), 1u);
+  EXPECT_TRUE(u.po_inverted[0]);
+  // The logic itself stays positive-phase AND: no duplication.
+  EXPECT_EQ(u.net.stats().num_gates(), 1u);
+}
+
+TEST(Unate, DeMorganPushesThroughGates) {
+  // !(a & b) | c  ->  (!a | !b) | c with literal leaves.
+  NetworkBuilder b;
+  const NodeId a = b.add_pi("a");
+  const NodeId bb = b.add_pi("b");
+  const NodeId c = b.add_pi("c");
+  b.add_output(b.add_or(b.add_inv(b.add_and(a, bb)), c), "z");
+  const Network net = std::move(b).build();
+  const UnateResult u = make_unate(net);
+  EXPECT_TRUE(u.net.is_unate());
+  EXPECT_FALSE(u.po_inverted[0]);
+  // a and b appear only complemented; c only positive.
+  EXPECT_EQ(u.pi_literals[0].pos, -1);
+  EXPECT_GE(u.pi_literals[0].neg, 0);
+  EXPECT_GE(u.pi_literals[2].pos, 0);
+  EXPECT_EQ(u.pi_literals[2].neg, -1);
+}
+
+TEST(Unate, XorDuplicatesBothPhases) {
+  const Network net = testing::full_adder_network();
+  const UnateResult u = make_unate(net);
+  EXPECT_TRUE(u.net.is_unate());
+  // XOR needs both phases of its inputs.
+  EXPECT_GE(u.pi_literals[0].pos, 0);
+  EXPECT_GE(u.pi_literals[0].neg, 0);
+  EXPECT_GE(u.duplication_ratio, 1.0);
+  EXPECT_LE(u.duplication_ratio, 2.0);  // the paper's bound
+}
+
+TEST(Unate, NegativeLiteralNames) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("sel");
+  b.add_output(b.add_inv(x), "z");
+  const UnateResult u = make_unate(std::move(b).build());
+  // PO is a PI literal after stripping the inverter: positive leaf with
+  // inverted phase, no .bar literal needed.
+  EXPECT_TRUE(u.po_inverted[0]);
+  EXPECT_GE(u.pi_literals[0].pos, 0);
+}
+
+TEST(Unate, BarLiteralCreatedWhenNeeded) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("sel");
+  const NodeId y = b.add_pi("d");
+  b.add_output(b.add_and(b.add_inv(x), y), "z");
+  const UnateResult u = make_unate(std::move(b).build());
+  ASSERT_GE(u.pi_literals[0].neg, 0);
+  const NodeId bar =
+      u.net.pis()[static_cast<std::size_t>(u.pi_literals[0].neg)];
+  EXPECT_EQ(u.net.pi_name(bar), "sel.bar");
+}
+
+TEST(Unate, PreservesFunctionSmall) {
+  Rng rng(99);
+  for (const auto& net :
+       {testing::fig2_network(), testing::fig3_network(),
+        testing::full_adder_network()}) {
+    const UnateResult u = make_unate(net);
+    EXPECT_TRUE(unate_preserves_function(net, u, 16, rng));
+  }
+}
+
+class UnateRandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnateRandomProperty, PreservesFunctionAndIsUnate) {
+  const Network net = testing::random_network(10, 120, 6, GetParam());
+  const UnateResult u = make_unate(net);
+  EXPECT_TRUE(u.net.is_unate());
+  EXPECT_LE(u.duplication_ratio, 2.0 + 1e-9);
+  Rng rng(GetParam() ^ 0xfeed);
+  EXPECT_TRUE(unate_preserves_function(net, u, 8, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnateRandomProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+
+TEST(PhaseAssignment, NandTreeBuildsComplementCone) {
+  // f = !(a&b) | !(c&d) and g = !((a&b) | (c&d)): greedy assignment should
+  // realize g via the complement of f's cone pieces instead of duplicating.
+  NetworkBuilder b;
+  const NodeId a = b.add_pi("a");
+  const NodeId bb = b.add_pi("b");
+  const NodeId c = b.add_pi("c");
+  const NodeId d = b.add_pi("d");
+  const NodeId ab = b.add_and(a, bb);
+  const NodeId cd = b.add_and(c, d);
+  b.add_output(b.add_or(ab, cd), "f");
+  b.add_output(b.add_inv(b.add_or(ab, cd)), "g");
+  const Network net = std::move(b).build();
+
+  const UnateResult greedy = make_unate(net, PhaseAssignment::kGreedyMinDuplication);
+  const UnateResult naive = make_unate(net, PhaseAssignment::kPositive);
+  EXPECT_LE(greedy.net.stats().num_gates(), naive.net.stats().num_gates());
+  Rng rng(8);
+  EXPECT_TRUE(unate_preserves_function(net, greedy, 16, rng));
+}
+
+TEST(PhaseAssignment, HelpsOnBinateSharedLogic) {
+  // Two outputs of opposite polarity over the same binate cone: positive
+  // assignment duplicates, greedy should not be worse.
+  const Network net = testing::full_adder_network();
+  const UnateResult greedy = make_unate(net, PhaseAssignment::kGreedyMinDuplication);
+  const UnateResult naive = make_unate(net, PhaseAssignment::kPositive);
+  EXPECT_LE(greedy.net.stats().num_gates(), naive.net.stats().num_gates());
+  Rng rng(9);
+  EXPECT_TRUE(unate_preserves_function(net, greedy, 16, rng));
+}
+
+class PhaseAssignmentProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhaseAssignmentProperty, GreedyCorrectAndNeverMuchWorse) {
+  const Network net = testing::random_network(10, 120, 8, GetParam());
+  const UnateResult greedy = make_unate(net, PhaseAssignment::kGreedyMinDuplication);
+  const UnateResult naive = make_unate(net, PhaseAssignment::kPositive);
+  EXPECT_TRUE(greedy.net.is_unate());
+  Rng rng(GetParam() ^ 0xBEEF);
+  EXPECT_TRUE(unate_preserves_function(net, greedy, 8, rng));
+  // Greedy is a heuristic over an estimate; allow a small regression
+  // margin but no blow-up.
+  EXPECT_LE(greedy.net.stats().num_gates(),
+            naive.net.stats().num_gates() * 11 / 10 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhaseAssignmentProperty,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace soidom

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "helpers.hpp"
+#include "soidom/base/rng.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/domino/export.hpp"
+#include "soidom/sim/sim.hpp"
+#include "soidom/verilog/parser.hpp"
+
+namespace soidom {
+namespace {
+
+TEST(Verilog, AnsiPortsAndOperators) {
+  const Network net = parse_verilog(R"(
+    module m (input a, input b, input c, output y, output z);
+      assign y = (a & b) | ~c;
+      assign z = a ^ b;
+    endmodule
+  )");
+  ASSERT_EQ(net.pis().size(), 3u);
+  ASSERT_EQ(net.outputs().size(), 2u);
+  for (int v = 0; v < 8; ++v) {
+    const bool a = (v & 1) != 0;
+    const bool b = (v & 2) != 0;
+    const bool c = (v & 4) != 0;
+    const auto out = evaluate(net, {a, b, c});
+    EXPECT_EQ(out[0], (a && b) || !c);
+    EXPECT_EQ(out[1], a != b);
+  }
+}
+
+TEST(Verilog, ClassicStyleDeclarations) {
+  const Network net = parse_verilog(R"(
+    // classic two-section style
+    module m (a, b, y);
+      input a, b;
+      output y;
+      wire t;
+      assign t = a & b;
+      assign y = ~t;
+    endmodule
+  )");
+  EXPECT_EQ(net.pis().size(), 2u);
+  EXPECT_EQ(evaluate(net, {true, true})[0], false);
+  EXPECT_EQ(evaluate(net, {true, false})[0], true);
+}
+
+TEST(Verilog, VectorsExpandPerBit) {
+  const Network net = parse_verilog(R"(
+    module m (input [1:0] a, output [1:0] y);
+      assign y[0] = ~a[0];
+      assign y[1] = a[1] & a[0];
+    endmodule
+  )");
+  ASSERT_EQ(net.pis().size(), 2u);
+  EXPECT_EQ(net.pi_name(net.pis()[0]), "a[0]");
+  EXPECT_EQ(net.pi_name(net.pis()[1]), "a[1]");
+  const auto out = evaluate(net, {true, true});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+}
+
+TEST(Verilog, WireInitializerAndConstants) {
+  const Network net = parse_verilog(R"(
+    module m (input a, output y, output one);
+      wire t = a & 1'b1;
+      assign y = t | 1'b0;
+      assign one = 1'b1;
+    endmodule
+  )");
+  EXPECT_EQ(evaluate(net, {true})[0], true);
+  EXPECT_EQ(evaluate(net, {false})[0], false);
+  EXPECT_EQ(evaluate(net, {false})[1], true);
+}
+
+TEST(Verilog, OutOfOrderAssignsResolve) {
+  const Network net = parse_verilog(R"(
+    module m (input a, input b, output y);
+      assign y = t2;
+      wire t2;
+      assign t2 = t1 | b;
+      wire t1 = a & b;
+    endmodule
+  )");
+  EXPECT_EQ(evaluate(net, {false, true})[0], true);
+  EXPECT_EQ(evaluate(net, {false, false})[0], false);
+}
+
+TEST(Verilog, CommentsAndPrecedence) {
+  const Network net = parse_verilog(R"(
+    module m (input a, input b, input c, output y);
+      /* & binds tighter than ^ binds tighter than | */
+      assign y = a | b ^ b & c; // == a | (b ^ (b & c))
+    endmodule
+  )");
+  for (int v = 0; v < 8; ++v) {
+    const bool a = (v & 1) != 0;
+    const bool b = (v & 2) != 0;
+    const bool c = (v & 4) != 0;
+    EXPECT_EQ(evaluate(net, {a, b, c})[0], a || (b != (b && c)));
+  }
+}
+
+TEST(Verilog, Errors) {
+  // Sequential / unsupported constructs.
+  EXPECT_THROW(parse_verilog("module m (input a, output y);\n"
+                             "  always @(posedge a) y = a;\nendmodule\n"),
+               Error);
+  // Assignment to input.
+  EXPECT_THROW(parse_verilog("module m (input a, output y);\n"
+                             "  assign a = y;\nendmodule\n"),
+               Error);
+  // Double assignment.
+  EXPECT_THROW(parse_verilog("module m (input a, output y);\n"
+                             "  assign y = a;\n  assign y = ~a;\nendmodule\n"),
+               Error);
+  // Undeclared signal.
+  EXPECT_THROW(parse_verilog("module m (input a, output y);\n"
+                             "  assign y = ghost;\nendmodule\n"),
+               Error);
+  // Never-assigned output.
+  EXPECT_THROW(parse_verilog("module m (input a, output y);\nendmodule\n"),
+               Error);
+  // Combinational cycle.
+  EXPECT_THROW(parse_verilog("module m (input a, output y);\n"
+                             "  wire t = y; assign y = t;\nendmodule\n"),
+               Error);
+  // Multi-bit literal.
+  EXPECT_THROW(parse_verilog("module m (input a, output y);\n"
+                             "  assign y = 2'b10;\nendmodule\n"),
+               Error);
+}
+
+TEST(Verilog, ErrorMentionsLine) {
+  try {
+    parse_verilog("module m (input a, output y);\n\n  assign y = @;\n"
+                  "endmodule\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+/// The round trip: map a circuit, export as Verilog, parse it back, prove
+/// equivalence with the mapped netlist's combinational view.
+class VerilogRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VerilogRoundTrip, ExportParsesBackEquivalent) {
+  const Network source = build_benchmark(GetParam());
+  const FlowResult flow = run_flow(source, FlowOptions{});
+  ASSERT_TRUE(flow.ok());
+  const Network reparsed =
+      parse_verilog(export_verilog(flow.netlist, GetParam()));
+
+  // The reparsed module's PIs are the distinct source PIs in first-seen
+  // order; align by name against the source network.
+  ASSERT_EQ(reparsed.outputs().size(), source.outputs().size());
+  std::vector<int> pi_map;  // reparsed PI -> source PI index
+  for (const NodeId pi : reparsed.pis()) {
+    int found = -1;
+    for (std::size_t k = 0; k < source.pis().size(); ++k) {
+      // export sanitizes names; our generators only use [a-z0-9_] already.
+      if (source.pi_name(source.pis()[k]) == reparsed.pi_name(pi)) {
+        found = static_cast<int>(k);
+        break;
+      }
+    }
+    ASSERT_GE(found, 0) << reparsed.pi_name(pi);
+    pi_map.push_back(found);
+  }
+
+  Rng rng(42);
+  for (int round = 0; round < 8; ++round) {
+    const auto source_words = random_pi_words(source.pis().size(), rng);
+    std::vector<SimWord> reparsed_words;
+    for (const int k : pi_map) {
+      reparsed_words.push_back(source_words[static_cast<std::size_t>(k)]);
+    }
+    EXPECT_EQ(simulate_outputs(source, source_words),
+              simulate_outputs(reparsed, reparsed_words));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, VerilogRoundTrip,
+                         ::testing::Values("cm150", "mux", "z4ml", "frg1",
+                                           "9symml", "c432"));
+
+
+TEST(Verilog, ClassicPortWithoutDirectionRejected) {
+  EXPECT_THROW(parse_verilog("module m (a, ghost, y);\n"
+                             "  input a;\n  output y;\n"
+                             "  assign y = ~a;\nendmodule\n"),
+               Error);
+  // Vector ports declared in the body are fine.
+  const Network ok = parse_verilog(
+      "module m (a, y);\n  input [1:0] a;\n  output y;\n"
+      "  assign y = a[0] & a[1];\nendmodule\n");
+  EXPECT_EQ(ok.pis().size(), 2u);
+}
+
+TEST(Verilog, FileFrontEnd) {
+  const std::string path = ::testing::TempDir() + "/soidom_vl_test.v";
+  {
+    std::ofstream out(path);
+    out << "module f (input a, output y);\n  assign y = ~a;\nendmodule\n";
+  }
+  const Network net = parse_verilog_file(path);
+  EXPECT_EQ(net.outputs().size(), 1u);
+  EXPECT_THROW(parse_verilog_file("/nonexistent.v"), Error);
+}
+
+}  // namespace
+}  // namespace soidom
