@@ -8,10 +8,16 @@
 ///         -> transistor sizing                     (paper's follow-up step)
 ///         -> SPICE + Verilog export for downstream tooling.
 ///
-/// Build & run:   build/examples/asic_flow [circuit.blif]
-/// Without an argument a built-in 4-bit comparator BLIF is used.
+/// Build & run:   build/examples/asic_flow [--diag-json] [circuit.blif]
+/// Without a circuit argument a built-in 4-bit comparator BLIF is used.
+///
+/// Exit codes (docs/ERRORS.md): 0 success, 2 parse error, 3 mapping
+/// infeasible, 4 verification mismatch, 5 deadline/budget, 64 bad
+/// options, 1 internal error.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
 
 #include "soidom/core/flow.hpp"
 #include "soidom/domino/export.hpp"
@@ -60,10 +66,35 @@ const char* kDefaultBlif = R"(
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool diag_json = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--diag-json") == 0) {
+      diag_json = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  auto report = [&](const Diagnostic& d) {
+    if (diag_json) {
+      std::printf("%s\n", d.to_json().c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", d.to_string().c_str());
+    }
+    return cli_exit_code(d);
+  };
+
   try {
     // 1. Front end + two-level minimization.
-    BlifModel model = argc > 1 ? parse_blif_file(argv[1])
-                               : parse_blif(kDefaultBlif);
+    BlifModel model;
+    try {
+      model = path.empty() ? parse_blif(kDefaultBlif) : parse_blif_file(path);
+    } catch (const Error& e) {
+      return report(Diagnostic{ErrorCode::kParseError, FlowStage::kParse,
+                               e.what(),
+                               {}});
+    }
     const MinimizeStats min_stats = minimize_tables(model);
     std::printf("[minimize]  cubes %d -> %d, literals %d -> %d\n",
                 min_stats.cubes_before, min_stats.cubes_after,
@@ -74,16 +105,16 @@ int main(int argc, char** argv) {
     options.variant = FlowVariant::kSoiDominoMap;
     options.sequence_aware = true;
     options.exact_equivalence = true;
-    const FlowResult flow = run_flow(model, options);
+    const FlowOutcome outcome = run_flow_guarded(model, options);
+    for (const Diagnostic& warning : outcome.warnings) {
+      std::fprintf(stderr, "warning: %s\n", warning.to_string().c_str());
+    }
+    if (!outcome.result.has_value()) return report(*outcome.diagnostic);
+    const FlowResult& flow = *outcome.result;
     std::printf("[map]       %s\n", summarize(flow).c_str());
     std::printf("[seq-aware] pruned %d unexcitable discharge point(s)\n",
                 flow.discharges_pruned);
-    if (!flow.ok()) {
-      std::fprintf(stderr, "flow failed:\n%s%s",
-                   flow.structure.to_string().c_str(),
-                   flow.function.to_string().c_str());
-      return 1;
-    }
+    if (outcome.diagnostic.has_value()) return report(*outcome.diagnostic);
 
     // 3. Timing + hysteresis.
     const TimingReport timing = analyze_timing(flow.netlist);

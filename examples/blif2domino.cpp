@@ -17,6 +17,11 @@
 ///   --dnl=FILE               write the netlist interchange format
 ///   --timing                 print the timing / hysteresis report
 ///   --power                  print the dynamic-energy estimate
+///   --diag-json              print failures/warnings as JSON diagnostics
+///
+/// Exit codes (docs/ERRORS.md): 0 success, 2 parse error, 3 mapping
+/// infeasible, 4 verification mismatch, 5 deadline/budget, 64 bad usage
+/// or options, 1 internal error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,9 +45,9 @@ namespace {
       "usage: %s [--flow=domino|rs|soi] [--objective=area|depth]\n"
       "          [--wmax=N] [--hmax=N] [--k=F] [--minimize] [--seq-aware]\n"
       "          [--exact] [--dump] [--spice=FILE] [--verilog=FILE]\n"
-      "          [--timing] [--power] circuit.{blif,v}\n",
+      "          [--timing] [--power] [--diag-json] circuit.{blif,v}\n",
       argv0);
-  std::exit(2);
+  std::exit(64);
 }
 
 bool ends_with(const std::string& text, const std::string& suffix) {
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
   bool dump = false;
   bool want_timing = false;
   bool want_power = false;
+  bool diag_json = false;
   std::string spice_path;
   std::string verilog_path;
   std::string dnl_path;
@@ -98,6 +104,8 @@ int main(int argc, char** argv) {
       want_timing = true;
     } else if (arg == "--power") {
       want_power = true;
+    } else if (arg == "--diag-json") {
+      diag_json = true;
     } else if (arg.rfind("--", 0) == 0) {
       usage(argv[0]);
     } else if (path.empty()) {
@@ -108,11 +116,37 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) usage(argv[0]);
 
+  FlowOutcome outcome;
+  if (ends_with(path, ".v") || ends_with(path, ".sv")) {
+    try {
+      outcome = run_flow_guarded(parse_verilog_file(path), options);
+    } catch (const Error& e) {
+      outcome.diagnostic =
+          Diagnostic{ErrorCode::kParseError, FlowStage::kParse, e.what(), {}};
+    }
+  } else {
+    outcome = run_flow_guarded_file(path, options);
+  }
+
+  for (const Diagnostic& warning : outcome.warnings) {
+    if (diag_json) {
+      std::printf("%s\n", warning.to_json().c_str());
+    } else {
+      std::fprintf(stderr, "warning: %s\n", warning.to_string().c_str());
+    }
+  }
+  if (!outcome.result.has_value()) {
+    const Diagnostic& d = *outcome.diagnostic;
+    if (diag_json) {
+      std::printf("%s\n", d.to_json().c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", d.to_string().c_str());
+    }
+    return cli_exit_code(d);
+  }
+
   try {
-    const FlowResult result =
-        ends_with(path, ".v") || ends_with(path, ".sv")
-            ? run_flow(parse_verilog_file(path), options)
-            : run_flow_file(path, options);
+    const FlowResult& result = *outcome.result;
     std::printf("%s: %s\n", path.c_str(), summarize(result).c_str());
     if (options.sequence_aware) {
       std::printf("sequence-aware pruning removed %d discharge transistor(s)\n",
@@ -139,11 +173,16 @@ int main(int argc, char** argv) {
       write_dnl_file(result.netlist, dnl_path);
       std::printf("wrote %s\n", dnl_path.c_str());
     }
-    if (!result.ok()) {
-      std::fprintf(stderr, "verification problems:\n%s%s",
-                   result.structure.to_string().c_str(),
-                   result.function.to_string().c_str());
-      return 1;
+    if (outcome.diagnostic.has_value()) {
+      // A verification mismatch: the netlist above is still printed /
+      // exported for triage, but the run fails with the dedicated code.
+      const Diagnostic& d = *outcome.diagnostic;
+      if (diag_json) {
+        std::printf("%s\n", d.to_json().c_str());
+      } else {
+        std::fprintf(stderr, "error: %s\n", d.to_string().c_str());
+      }
+      return cli_exit_code(d);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "soidom/base/strings.hpp"
+#include "soidom/guard/guard.hpp"
 
 namespace soidom {
 namespace {
@@ -35,8 +36,12 @@ BddManager::Ref BddManager::make_node(std::uint32_t v, Ref lo, Ref hi) {
     return it->second;
   }
   if (nodes_.size() >= node_limit_) {
-    throw Error(format("BDD node limit (%zu) exceeded", node_limit_));
+    throw GuardError(ErrorCode::kBddNodeLimit,
+                     current_stage_or(FlowStage::kExact),
+                     format("BDD node limit (%zu) exceeded", node_limit_));
   }
+  guard_checkpoint();
+  guard_charge(Resource::kBddNodes);
   nodes_.push_back(Node{v, lo, hi});
   const Ref r = static_cast<Ref>(nodes_.size() - 1);
   unique_.emplace(key, r);

@@ -1,6 +1,8 @@
 #include "soidom/bdd/equivalence.hpp"
 
 #include "soidom/base/strings.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
 
 namespace soidom {
 
@@ -47,11 +49,16 @@ std::optional<bool> equivalent_exact(const Network& a, const Network& b,
   SOIDOM_REQUIRE(a.pis().size() == b.pis().size() &&
                      a.outputs().size() == b.outputs().size(),
                  "equivalent_exact: interface mismatch");
+  StageScope stage(FlowStage::kExact);
+  SOIDOM_FAULT_PROBE(FlowStage::kExact);
   try {
     BddManager manager(static_cast<unsigned>(a.pis().size()), node_limit);
     return build_output_bdds(manager, a) == build_output_bdds(manager, b);
-  } catch (const Error&) {
-    return std::nullopt;  // node limit exceeded
+  } catch (const GuardError& e) {
+    // Only a blow-up is a fallback-to-simulation outcome; cancellation,
+    // deadline, and budget trips must keep propagating.
+    if (e.code() == ErrorCode::kBddNodeLimit) return std::nullopt;
+    throw;
   }
 }
 

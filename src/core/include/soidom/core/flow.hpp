@@ -18,6 +18,8 @@
 #include "soidom/domino/netlist.hpp"
 #include "soidom/domino/stats.hpp"
 #include "soidom/domino/verify.hpp"
+#include "soidom/guard/diagnostic.hpp"
+#include "soidom/guard/guard.hpp"
 #include "soidom/mapper/mapper.hpp"
 #include "soidom/network/network.hpp"
 #include "soidom/unate/unate.hpp"
@@ -81,5 +83,92 @@ FlowResult run_flow_file(const std::string& path,
 
 /// Short human-readable summary line ("gates=12 T_logic=96 ...").
 std::string summarize(const FlowResult& result);
+
+// --- guarded facade --------------------------------------------------------
+
+/// What a stage's fallback policy does when the stage fails recoverably.
+enum class FallbackAction : std::uint8_t {
+  kFail,                ///< surface the failure as the flow's Diagnostic
+  kSkip,                ///< skip the stage's result, record a warning
+  kRetryRelaxed,        ///< retry once with relaxed limits, record a warning
+  kFallbackSimulation,  ///< substitute random simulation, record a warning
+};
+
+/// Guard knobs for run_flow_guarded.  Defaults: unbounded, graceful
+/// degradation on (infeasible limits retry once with doubled W/H; a BDD
+/// blow-up or BDD-budget trip falls back to random simulation).
+struct GuardOptions {
+  Deadline deadline;     ///< default: unlimited
+  CancelToken cancel;    ///< observed at stage checkpoints
+  ResourceBudget budget; ///< default: unlimited
+
+  /// Mapper found no feasible pulldown shape under max_width/max_height
+  /// (kFail or kRetryRelaxed; anything else behaves like kFail).
+  FallbackAction on_infeasible_limits = FallbackAction::kRetryRelaxed;
+  /// Exact BDD equivalence hit bdd_node_limit or the BDD-node budget
+  /// (kFail, kSkip, or kFallbackSimulation).
+  FallbackAction on_exact_blowup = FallbackAction::kFallbackSimulation;
+  /// Simulation rounds used by kFallbackSimulation when verify_rounds == 0.
+  int fallback_sim_rounds = 8;
+
+  /// Copy completed stage results into FlowOutcome::partial so a failing
+  /// flow still yields whatever finished.  Off in strict() to keep
+  /// run_flow overhead-free.
+  bool capture_partials = true;
+
+  /// No fallbacks, no partial capture: the exception-compatible behavior
+  /// plain run_flow delegates to.
+  static GuardOptions strict() {
+    GuardOptions g;
+    g.on_infeasible_limits = FallbackAction::kFail;
+    g.on_exact_blowup = FallbackAction::kSkip;
+    g.capture_partials = false;
+    return g;
+  }
+};
+
+/// Stage results that completed before a failure (populated when
+/// GuardOptions::capture_partials).
+struct FlowPartial {
+  std::optional<Network> decomposed;  ///< BLIF / file entry points only
+  std::optional<UnateResult> unate;
+  std::optional<DominoNetlist> netlist;
+};
+
+/// Non-throwing flow outcome: either a FlowResult, or a Diagnostic plus
+/// whatever partial stage results completed.  Verification mismatches set
+/// BOTH `result` (the mapped netlist is still useful for triage) and
+/// `diagnostic` (code kVerificationFailed).
+struct FlowOutcome {
+  std::optional<FlowResult> result;
+  std::optional<Diagnostic> diagnostic;
+  FlowPartial partial;
+  /// Fallbacks taken and other non-fatal conditions, in stage order.
+  std::vector<Diagnostic> warnings;
+
+  bool ok() const { return result.has_value() && !diagnostic.has_value(); }
+};
+
+/// Validate every flow knob up front (delegates mapper knobs to
+/// validate(MapperOptions)); throws soidom::Error naming the offending
+/// field and value.
+void validate(const FlowOptions& options);
+
+/// Guarded, non-throwing counterparts of run_flow / run_flow_file: all
+/// recoverable failures — bad input, infeasible limits, deadline, budget,
+/// cancellation, injected faults — come back as a structured Diagnostic
+/// instead of an exception.  See docs/ERRORS.md.
+FlowOutcome run_flow_guarded(const Network& source,
+                             const FlowOptions& options = {},
+                             const GuardOptions& guard_options = {});
+FlowOutcome run_flow_guarded(const BlifModel& model,
+                             const FlowOptions& options = {},
+                             const GuardOptions& guard_options = {});
+FlowOutcome run_flow_guarded_file(const std::string& path,
+                                  const FlowOptions& options = {},
+                                  const GuardOptions& guard_options = {});
+
+/// summarize(result) on success, diagnostic.to_string() on failure.
+std::string summarize(const FlowOutcome& outcome);
 
 }  // namespace soidom

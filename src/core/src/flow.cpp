@@ -1,24 +1,81 @@
 #include "soidom/core/flow.hpp"
 
+#include <algorithm>
+
 #include "soidom/base/strings.hpp"
 #include "soidom/domino/exact.hpp"
 #include "soidom/domino/postpass.hpp"
 #include "soidom/domino/seqaware.hpp"
+#include "soidom/guard/fault.hpp"
 
 namespace soidom {
+namespace {
 
-FlowResult run_flow(const Network& source, const FlowOptions& options) {
+/// Code assumed for a plain soidom::Error (no embedded code) by stage.
+ErrorCode default_code_for(FlowStage stage) {
+  switch (stage) {
+    case FlowStage::kParse:
+    case FlowStage::kDecompose:
+      return ErrorCode::kParseError;  // input text or model elaboration
+    case FlowStage::kValidate:
+      return ErrorCode::kInvalidOptions;
+    default:
+      return ErrorCode::kInternal;
+  }
+}
+
+/// Stage transition: attribute + honor cancellation/deadline at the
+/// boundary even when the stage itself has no inner checkpoints.
+void enter(GuardContext& guard, FlowStage stage) {
+  guard.set_stage(stage);
+  guard.checkpoint();
+}
+
+Diagnostic warning_from(const GuardError& e, const std::string& note) {
+  Diagnostic d = e.to_diagnostic();
+  d.context.push_back(note);
+  return d;
+}
+
+/// The stage sequence shared by every entry point.  Fills out.result on
+/// success (plus out.diagnostic for verification mismatches); failures
+/// propagate as exceptions for the entry points to convert.
+void run_stages(const Network& source, const FlowOptions& options,
+                const GuardOptions& gopts, GuardContext& guard,
+                FlowOutcome& out) {
+  enter(guard, FlowStage::kValidate);
+  validate(options);
+
+  enter(guard, FlowStage::kUnate);
   FlowResult result;
   result.unate = make_unate(source, options.phase_assignment);
+  if (gopts.capture_partials) out.partial.unate = result.unate;
 
+  enter(guard, FlowStage::kMap);
   MapperOptions mopts = options.mapper;
   mopts.engine = options.variant == FlowVariant::kSoiDominoMap
                      ? MappingEngine::kSoiDominoMap
                      : MappingEngine::kDominoMap;
-  MappingResult mapped = map_to_domino(result.unate, mopts);
+  MappingResult mapped;
+  try {
+    mapped = map_to_domino(result.unate, mopts);
+  } catch (const GuardError& e) {
+    if (e.code() != ErrorCode::kInfeasibleLimits ||
+        gopts.on_infeasible_limits != FallbackAction::kRetryRelaxed) {
+      throw;
+    }
+    MapperOptions relaxed = mopts;
+    relaxed.max_width = std::min(64, std::max(2, relaxed.max_width * 2));
+    relaxed.max_height = std::min(64, std::max(2, relaxed.max_height * 2));
+    out.warnings.push_back(warning_from(
+        e, format("retried once with relaxed limits W<=%d H<=%d",
+                  relaxed.max_width, relaxed.max_height)));
+    mapped = map_to_domino(result.unate, relaxed);
+  }
   result.dp_analyzer_mismatches = mapped.dp_analyzer_mismatches;
   result.netlist = std::move(mapped.netlist);
 
+  enter(guard, FlowStage::kPostPass);
   switch (options.variant) {
     case FlowVariant::kDominoMap:
       insert_discharges(result.netlist, mopts.grounding, mopts.pending_model);
@@ -31,32 +88,197 @@ FlowResult run_flow(const Network& source, const FlowOptions& options) {
   }
 
   if (options.sequence_aware) {
+    enter(guard, FlowStage::kSeqAware);
     result.discharges_pruned =
         prune_unexcitable_discharges(result.netlist).points_pruned;
   }
 
   result.stats = compute_stats(result.netlist);
+  if (gopts.capture_partials) out.partial.netlist = result.netlist;
+
+  enter(guard, FlowStage::kVerifyStructure);
   result.structure =
       verify_structure(result.netlist, mopts.grounding, mopts.pending_model,
                        /*allow_unexcitable_unprotected=*/options.sequence_aware);
+
   if (options.verify_rounds > 0) {
+    enter(guard, FlowStage::kVerifyFunction);
     Rng rng(options.verify_seed);
-    result.function = verify_function(result.netlist, source,
-                                      options.verify_rounds, rng);
+    result.function =
+        verify_function(result.netlist, source, options.verify_rounds, rng);
   }
+
   if (options.exact_equivalence) {
-    result.exact =
-        equivalent_exact(result.netlist, source, options.bdd_node_limit);
+    enter(guard, FlowStage::kExact);
+    bool blew_up = false;
+    std::string blowup_reason;
+    try {
+      result.exact =
+          equivalent_exact(result.netlist, source, options.bdd_node_limit);
+      if (!result.exact.has_value()) {
+        blew_up = true;
+        blowup_reason = format("BDD node limit (%zu) exceeded",
+                               options.bdd_node_limit);
+      }
+    } catch (const GuardError& e) {
+      // The BDD-node *budget* is a blow-up too as far as degradation is
+      // concerned; deadline/cancellation keep propagating.
+      if (e.code() != ErrorCode::kBudgetExceeded ||
+          gopts.on_exact_blowup == FallbackAction::kFail) {
+        throw;
+      }
+      blew_up = true;
+      blowup_reason = e.what();
+    }
+    if (blew_up) {
+      if (gopts.on_exact_blowup == FallbackAction::kFail) {
+        throw GuardError(ErrorCode::kBddNodeLimit, FlowStage::kExact,
+                         format("exact equivalence intractable: %s",
+                                blowup_reason.c_str()));
+      }
+      Diagnostic warn{ErrorCode::kBddNodeLimit, FlowStage::kExact,
+                      blowup_reason, {}};
+      if (gopts.on_exact_blowup == FallbackAction::kFallbackSimulation) {
+        warn.context.push_back("fell back to random simulation");
+        if (options.verify_rounds <= 0 && gopts.fallback_sim_rounds > 0) {
+          enter(guard, FlowStage::kVerifyFunction);
+          Rng rng(options.verify_seed);
+          result.function = verify_function(result.netlist, source,
+                                            gopts.fallback_sim_rounds, rng);
+        }
+      } else {
+        warn.context.push_back("exact equivalence skipped");
+      }
+      out.warnings.push_back(std::move(warn));
+    }
   }
-  return result;
+
+  // Verification mismatches become a Diagnostic, but the mapped netlist
+  // is still returned for triage.
+  if (!result.structure.ok()) {
+    out.diagnostic = Diagnostic{ErrorCode::kVerificationFailed,
+                                FlowStage::kVerifyStructure,
+                                result.structure.to_string(),
+                                {}};
+  } else if (!result.function.ok()) {
+    out.diagnostic = Diagnostic{ErrorCode::kVerificationFailed,
+                                FlowStage::kVerifyFunction,
+                                result.function.to_string(),
+                                {}};
+  } else if (result.exact.has_value() && !*result.exact) {
+    out.diagnostic =
+        Diagnostic{ErrorCode::kVerificationFailed, FlowStage::kExact,
+                   "exact BDD equivalence found a functional difference",
+                   {}};
+  } else if (result.dp_analyzer_mismatches != 0) {
+    out.diagnostic =
+        Diagnostic{ErrorCode::kVerificationFailed, FlowStage::kMap,
+                   format("%d DP/analyzer discharge-count mismatch(es)",
+                          result.dp_analyzer_mismatches),
+                   {}};
+  }
+
+  guard.set_stage(FlowStage::kNone);
+  out.result = std::move(result);
+}
+
+/// Install a guard, run `body`, convert any escaping exception into a
+/// Diagnostic.  run_flow_guarded never throws for recoverable failures.
+template <typename Body>
+FlowOutcome run_guarded(const GuardOptions& gopts, Body&& body) {
+  GuardContext guard(gopts.deadline, gopts.cancel, gopts.budget);
+  GuardScope scope(guard);
+  FlowOutcome out;
+  try {
+    body(guard, out);
+  } catch (const GuardError& e) {
+    Diagnostic d = e.to_diagnostic();
+    if (d.stage == FlowStage::kNone) d.stage = guard.stage();
+    out.diagnostic = std::move(d);
+  } catch (const Error& e) {
+    out.diagnostic = Diagnostic{default_code_for(guard.stage()), guard.stage(),
+                                e.what(),
+                                {}};
+  } catch (const std::exception& e) {
+    out.diagnostic =
+        Diagnostic{ErrorCode::kInternal, guard.stage(),
+                   format("unexpected exception: %s", e.what()),
+                   {}};
+  }
+  return out;
+}
+
+/// Delegation shim for the throwing API: unwrap the result or rethrow the
+/// diagnostic as a GuardError (an Error subclass, so existing catch sites
+/// keep working).
+FlowResult take_result(FlowOutcome&& outcome) {
+  if (outcome.result.has_value()) return std::move(*outcome.result);
+  const Diagnostic& d = *outcome.diagnostic;
+  throw GuardError(d.code, d.stage, d.message);
+}
+
+}  // namespace
+
+void validate(const FlowOptions& options) {
+  validate(options.mapper);
+  SOIDOM_REQUIRE(options.verify_rounds >= 0,
+                 format("FlowOptions.verify_rounds = %d is invalid "
+                        "(need verify_rounds >= 0)",
+                        options.verify_rounds));
+  SOIDOM_REQUIRE(options.bdd_node_limit >= 2,
+                 format("FlowOptions.bdd_node_limit = %zu is invalid "
+                        "(need bdd_node_limit >= 2)",
+                        options.bdd_node_limit));
+}
+
+FlowOutcome run_flow_guarded(const Network& source, const FlowOptions& options,
+                             const GuardOptions& guard_options) {
+  return run_guarded(guard_options,
+                     [&](GuardContext& guard, FlowOutcome& out) {
+                       run_stages(source, options, guard_options, guard, out);
+                     });
+}
+
+FlowOutcome run_flow_guarded(const BlifModel& model, const FlowOptions& options,
+                             const GuardOptions& guard_options) {
+  return run_guarded(
+      guard_options, [&](GuardContext& guard, FlowOutcome& out) {
+        enter(guard, FlowStage::kValidate);
+        validate(options);
+        enter(guard, FlowStage::kDecompose);
+        const Network net = decompose(model, options.decompose);
+        if (guard_options.capture_partials) out.partial.decomposed = net;
+        run_stages(net, options, guard_options, guard, out);
+      });
+}
+
+FlowOutcome run_flow_guarded_file(const std::string& path,
+                                  const FlowOptions& options,
+                                  const GuardOptions& guard_options) {
+  return run_guarded(
+      guard_options, [&](GuardContext& guard, FlowOutcome& out) {
+        enter(guard, FlowStage::kParse);
+        SOIDOM_FAULT_PROBE(FlowStage::kParse);
+        const BlifModel model = parse_blif_file(path);
+        enter(guard, FlowStage::kDecompose);
+        const Network net = decompose(model, options.decompose);
+        if (guard_options.capture_partials) out.partial.decomposed = net;
+        run_stages(net, options, guard_options, guard, out);
+      });
+}
+
+FlowResult run_flow(const Network& source, const FlowOptions& options) {
+  return take_result(
+      run_flow_guarded(source, options, GuardOptions::strict()));
 }
 
 FlowResult run_flow(const BlifModel& model, const FlowOptions& options) {
-  return run_flow(decompose(model, options.decompose), options);
+  return take_result(run_flow_guarded(model, options, GuardOptions::strict()));
 }
 
 FlowResult run_flow_file(const std::string& path, const FlowOptions& options) {
-  return run_flow(parse_blif_file(path), options);
+  return take_result(
+      run_flow_guarded_file(path, options, GuardOptions::strict()));
 }
 
 std::string summarize(const FlowResult& r) {
@@ -70,6 +292,12 @@ std::string summarize(const FlowResult& r) {
     out += format(" exact=%s", *r.exact ? "equivalent" : "DIFFERENT");
   }
   return out;
+}
+
+std::string summarize(const FlowOutcome& outcome) {
+  if (outcome.result.has_value()) return summarize(*outcome.result);
+  return outcome.diagnostic.has_value() ? outcome.diagnostic->to_string()
+                                        : "no result";
 }
 
 }  // namespace soidom

@@ -5,6 +5,8 @@
 
 #include "soidom/base/contracts.hpp"
 #include "soidom/base/strings.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
 #include "soidom/twolevel/extract.hpp"
 #include "soidom/twolevel/minimize.hpp"
 
@@ -43,6 +45,7 @@ NodeId decompose_cover(NetworkBuilder& builder, const SopCover& cover,
                        const DecomposeOptions& options) {
   SOIDOM_REQUIRE(fanins.size() == cover.num_inputs,
                  "decompose_cover: fanin count does not match cover");
+  const std::size_t nodes_before = builder.peek().size();
   bool constant = false;
   if (cover.is_constant(constant)) {
     return constant ? builder.const1() : builder.const0();
@@ -51,6 +54,7 @@ NodeId decompose_cover(NetworkBuilder& builder, const SopCover& cover,
   std::vector<NodeId> products;
   products.reserve(cover.cubes.size());
   for (const Cube& cube : cover.cubes) {
+    guard_checkpoint();
     std::vector<NodeId> literals;
     for (std::size_t i = 0; i < cube.lits.size(); ++i) {
       switch (cube.lits[i]) {
@@ -66,10 +70,13 @@ NodeId decompose_cover(NetworkBuilder& builder, const SopCover& cover,
   NodeId sum = reduce(builder, std::move(products), &NetworkBuilder::add_or,
                       builder.const0(), options.shape);
   if (!cover.on_set) sum = builder.add_inv(sum);
+  guard_charge(Resource::kNetworkNodes, builder.peek().size() - nodes_before);
   return sum;
 }
 
 Network decompose(const BlifModel& model, const DecomposeOptions& options) {
+  StageScope stage(FlowStage::kDecompose);
+  SOIDOM_FAULT_PROBE(FlowStage::kDecompose);
   if (options.extract_cubes) {
     BlifModel extracted = model;
     extract_common_cubes(extracted);
@@ -95,6 +102,7 @@ Network decompose(const BlifModel& model, const DecomposeOptions& options) {
     if (const auto it = signal.find(std::string(name)); it != signal.end()) {
       return it->second;
     }
+    guard_checkpoint();
     const int t = model.table_defining(name);
     SOIDOM_REQUIRE(t >= 0,
                    format("undefined signal '%s'", std::string(name).c_str()));

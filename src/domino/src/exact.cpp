@@ -2,6 +2,8 @@
 
 #include "soidom/base/strings.hpp"
 #include "soidom/bdd/equivalence.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
 
 namespace soidom {
 namespace {
@@ -73,13 +75,18 @@ std::optional<bool> equivalent_exact(const DominoNetlist& netlist,
                                      std::size_t node_limit) {
   SOIDOM_REQUIRE(netlist.outputs().size() == source.outputs().size(),
                  "equivalent_exact: output count mismatch");
+  StageScope stage(FlowStage::kExact);
+  SOIDOM_FAULT_PROBE(FlowStage::kExact);
   try {
     BddManager manager(static_cast<unsigned>(source.pis().size()), node_limit);
     return build_output_bdds(manager, source) ==
            build_output_bdds(manager, netlist,
                              static_cast<unsigned>(source.pis().size()));
-  } catch (const Error&) {
-    return std::nullopt;
+  } catch (const GuardError& e) {
+    // Only a blow-up is a fallback-to-simulation outcome; cancellation,
+    // deadline, and budget trips must keep propagating.
+    if (e.code() == ErrorCode::kBddNodeLimit) return std::nullopt;
+    throw;
   }
 }
 

@@ -1,5 +1,7 @@
 #include "soidom/domino/postpass.hpp"
 
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
 #include "soidom/pdn/reorder.hpp"
 
 namespace soidom {
@@ -15,8 +17,11 @@ bool gate_bottom_grounded(const DominoGate& gate, GroundingPolicy policy) {
 
 int insert_discharges(DominoNetlist& netlist, GroundingPolicy policy,
                       PendingModel model) {
+  StageScope stage(FlowStage::kPostPass);
+  SOIDOM_FAULT_PROBE(FlowStage::kPostPass);
   int total = 0;
   for (DominoGate& gate : netlist.gates()) {
+    guard_checkpoint();
     const bool grounded = gate_bottom_grounded(gate, policy);
     gate.discharges = analyze_pbe(gate.pdn, grounded, model).required;
     total += static_cast<int>(gate.discharges.size());
@@ -37,7 +42,9 @@ int insert_discharges(DominoNetlist& netlist, GroundingPolicy policy,
 
 int rearrange_stacks(DominoNetlist& netlist, GroundingPolicy policy,
                      PendingModel model, bool recursive_reorder) {
+  StageScope stage(FlowStage::kPostPass);
   for (DominoGate& gate : netlist.gates()) {
+    guard_checkpoint();
     reorder_series_stacks(gate.pdn, model, recursive_reorder);
     if (gate.dual()) {
       reorder_series_stacks(gate.pdn2, model, recursive_reorder);

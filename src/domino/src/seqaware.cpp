@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "soidom/bdd/bdd.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
 
 namespace soidom {
 namespace {
@@ -151,6 +153,8 @@ bool discharge_point_excitable(const DominoNetlist& netlist, const Pdn& pdn,
 }
 
 SeqAwareStats prune_unexcitable_discharges(DominoNetlist& netlist) {
+  StageScope stage(FlowStage::kSeqAware);
+  SOIDOM_FAULT_PROBE(FlowStage::kSeqAware);
   SeqAwareStats stats;
   auto prune_pdn = [&](const Pdn& pdn, bool footed,
                        std::vector<DischargePoint>& discharges) {
@@ -164,6 +168,7 @@ SeqAwareStats prune_unexcitable_discharges(DominoNetlist& netlist) {
     stats.points_pruned += static_cast<int>(removed);
   };
   for (DominoGate& gate : netlist.gates()) {
+    guard_checkpoint();
     prune_pdn(gate.pdn, gate.footed, gate.discharges);
     if (gate.dual()) prune_pdn(gate.pdn2, gate.footed2, gate.discharges2);
   }

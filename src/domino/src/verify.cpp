@@ -6,6 +6,8 @@
 #include "soidom/base/strings.hpp"
 #include "soidom/domino/postpass.hpp"
 #include "soidom/domino/seqaware.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
 #include "soidom/sim/sim.hpp"
 
 namespace soidom {
@@ -20,8 +22,11 @@ std::string VerifyReport::to_string() const {
 VerifyReport verify_structure(const DominoNetlist& netlist,
                               GroundingPolicy policy, PendingModel model,
                               bool allow_unexcitable_unprotected) {
+  StageScope stage(FlowStage::kVerifyStructure);
+  SOIDOM_FAULT_PROBE(FlowStage::kVerifyStructure);
   VerifyReport report;
   for (std::size_t g = 0; g < netlist.gates().size(); ++g) {
+    guard_checkpoint();
     const DominoGate& gate = netlist.gates()[g];
     if (gate.pdn.empty()) {
       report.problems.push_back(format("gate %zu: empty pulldown", g));
@@ -112,6 +117,8 @@ VerifyReport verify_structure(const DominoNetlist& netlist,
 
 VerifyReport verify_function(const DominoNetlist& netlist,
                              const Network& source, int rounds, Rng& rng) {
+  StageScope stage(FlowStage::kVerifyFunction);
+  SOIDOM_FAULT_PROBE(FlowStage::kVerifyFunction);
   VerifyReport report;
   if (netlist.outputs().size() != source.outputs().size()) {
     report.problems.push_back(
@@ -120,6 +127,7 @@ VerifyReport verify_function(const DominoNetlist& netlist,
     return report;
   }
   for (int r = 0; r < rounds; ++r) {
+    guard_checkpoint();
     const auto words = random_pi_words(source.pis().size(), rng);
     const auto want = simulate_outputs(source, words);
     const auto got = netlist.simulate(words);

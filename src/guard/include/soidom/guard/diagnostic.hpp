@@ -1,0 +1,98 @@
+/// \file diagnostic.hpp
+/// Structured failure reporting for the mapping pipeline.
+///
+/// A Diagnostic is the machine-readable form of a recoverable failure: an
+/// error code, the pipeline stage that failed, a human-readable message,
+/// and an optional chain of context strings (outermost first).  GuardError
+/// is the exception that carries one; it derives from soidom::Error so
+/// every existing `catch (const Error&)` site still works, while the
+/// guarded facade (core/flow.hpp) can recover code and stage without
+/// parsing prose.  See docs/ERRORS.md for the conventions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soidom/base/contracts.hpp"
+
+namespace soidom {
+
+/// Pipeline stages, in flow order.  Used for failure attribution and as
+/// fault-injection probe identifiers (one probe per stage).
+enum class FlowStage : std::uint8_t {
+  kNone = 0,         ///< outside any stage / not attributed
+  kParse,            ///< BLIF / Verilog front end
+  kValidate,         ///< option validation
+  kDecompose,        ///< 2-input decomposition
+  kUnate,            ///< binate-to-unate conversion
+  kMap,              ///< DP technology mapping
+  kPostPass,         ///< discharge insertion / stack rearrangement
+  kSeqAware,         ///< sequence-aware discharge pruning
+  kVerifyStructure,  ///< structural netlist checks
+  kVerifyFunction,   ///< random-simulation equivalence
+  kExact,            ///< BDD exact equivalence
+};
+
+/// Number of FlowStage values (for tables indexed by stage).
+inline constexpr std::size_t kFlowStageCount =
+    static_cast<std::size_t>(FlowStage::kExact) + 1;
+
+/// Stable lower-case identifier, e.g. "verify_function".
+const char* flow_stage_name(FlowStage stage);
+
+/// Failure classes.  docs/ERRORS.md has the full table with CLI exit codes.
+enum class ErrorCode : std::uint8_t {
+  kInternal = 0,       ///< unexpected: an invariant or foreign exception
+  kParseError,         ///< malformed input text or inconsistent model
+  kInvalidOptions,     ///< out-of-range knob caught by validation
+  kInfeasibleLimits,   ///< no feasible mapping under the shape limits
+  kDeadlineExceeded,   ///< Deadline expired at a checkpoint
+  kCancelled,          ///< CancelToken observed at a checkpoint
+  kBudgetExceeded,     ///< a ResourceBudget ceiling was hit
+  kBddNodeLimit,       ///< BDD blow-up (node limit of the manager)
+  kVerificationFailed, ///< structural / functional / exact check failed
+  kFaultInjected,      ///< a FaultInjector probe fired (testing only)
+};
+
+/// Stable lower-case identifier, e.g. "deadline_exceeded".
+const char* error_code_name(ErrorCode code);
+
+/// One structured failure (or warning) from the guarded flow.
+struct Diagnostic {
+  ErrorCode code = ErrorCode::kInternal;
+  FlowStage stage = FlowStage::kNone;
+  std::string message;
+  /// Optional context chain, outermost first ("flow variant soi",
+  /// "retry 1 of 1", ...).
+  std::vector<std::string> context;
+
+  /// "map: budget_exceeded: tuple budget exceeded ... (context; ...)"
+  std::string to_string() const;
+  /// One JSON object: {"code":...,"stage":...,"message":...,"context":[...]}.
+  std::string to_json() const;
+};
+
+/// Suggested process exit code for CLI front ends (docs/ERRORS.md):
+/// parse error = 2, infeasible mapping = 3, verification mismatch = 4,
+/// deadline/cancel/budget = 5, bad options = 64, everything else = 1.
+int cli_exit_code(const Diagnostic& diagnostic);
+
+/// Exception carrying a structured failure through throwing interfaces.
+class GuardError : public Error {
+ public:
+  GuardError(ErrorCode code, FlowStage stage, const std::string& message)
+      : Error(message), code_(code), stage_(stage) {}
+
+  ErrorCode code() const { return code_; }
+  FlowStage stage() const { return stage_; }
+
+  Diagnostic to_diagnostic() const {
+    return Diagnostic{code_, stage_, what(), {}};
+  }
+
+ private:
+  ErrorCode code_;
+  FlowStage stage_;
+};
+
+}  // namespace soidom

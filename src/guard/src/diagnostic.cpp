@@ -1,0 +1,108 @@
+#include "soidom/guard/diagnostic.hpp"
+
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* flow_stage_name(FlowStage stage) {
+  switch (stage) {
+    case FlowStage::kNone: return "none";
+    case FlowStage::kParse: return "parse";
+    case FlowStage::kValidate: return "validate";
+    case FlowStage::kDecompose: return "decompose";
+    case FlowStage::kUnate: return "unate";
+    case FlowStage::kMap: return "map";
+    case FlowStage::kPostPass: return "postpass";
+    case FlowStage::kSeqAware: return "seqaware";
+    case FlowStage::kVerifyStructure: return "verify_structure";
+    case FlowStage::kVerifyFunction: return "verify_function";
+    case FlowStage::kExact: return "exact";
+  }
+  return "unknown";
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kInvalidOptions: return "invalid_options";
+    case ErrorCode::kInfeasibleLimits: return "infeasible_limits";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kBudgetExceeded: return "budget_exceeded";
+    case ErrorCode::kBddNodeLimit: return "bdd_node_limit";
+    case ErrorCode::kVerificationFailed: return "verification_failed";
+    case ErrorCode::kFaultInjected: return "fault_injected";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = format("%s: %s: %s", flow_stage_name(stage),
+                           error_code_name(code), message.c_str());
+  if (!context.empty()) {
+    out += " (";
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      if (i) out += "; ";
+      out += context[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string Diagnostic::to_json() const {
+  std::string out = format(R"({"code":"%s","stage":"%s","message":"%s")",
+                           error_code_name(code), flow_stage_name(stage),
+                           json_escape(message).c_str());
+  out += ",\"context\":[";
+  for (std::size_t i = 0; i < context.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(context[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+int cli_exit_code(const Diagnostic& diagnostic) {
+  switch (diagnostic.code) {
+    case ErrorCode::kParseError: return 2;
+    case ErrorCode::kInfeasibleLimits: return 3;
+    case ErrorCode::kVerificationFailed: return 4;
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kCancelled:
+    case ErrorCode::kBudgetExceeded:
+    case ErrorCode::kBddNodeLimit: return 5;
+    case ErrorCode::kInvalidOptions: return 64;  // EX_USAGE
+    case ErrorCode::kInternal:
+    case ErrorCode::kFaultInjected: return 1;
+  }
+  return 1;
+}
+
+}  // namespace soidom

@@ -1,0 +1,52 @@
+#include "soidom/guard/fault.hpp"
+
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+namespace {
+
+thread_local FaultInjector* g_injector = nullptr;
+
+}  // namespace
+
+FaultInjector FaultInjector::fail_at(FlowStage stage, int hit) {
+  FaultInjector f;
+  f.target_ = stage;
+  f.target_hit_ = hit;
+  return f;
+}
+
+FaultInjector FaultInjector::random(std::uint64_t seed, std::uint64_t numer,
+                                    std::uint64_t denom) {
+  FaultInjector f;
+  f.randomized_ = true;
+  f.rng_ = Rng(seed);
+  f.numer_ = numer;
+  f.denom_ = denom;
+  return f;
+}
+
+bool FaultInjector::should_fail(FlowStage stage) {
+  const int hit = ++hits_[static_cast<std::size_t>(stage)];
+  if (randomized_) return rng_.chance(numer_, denom_);
+  return stage == target_ && hit == target_hit_;
+}
+
+FaultScope::FaultScope(FaultInjector& injector) : previous_(g_injector) {
+  g_injector = &injector;
+}
+
+FaultScope::~FaultScope() { g_injector = previous_; }
+
+namespace detail {
+
+void fault_probe(FlowStage stage) {
+  if (g_injector != nullptr && g_injector->should_fail(stage)) {
+    throw GuardError(
+        ErrorCode::kFaultInjected, stage,
+        format("injected fault at %s probe", flow_stage_name(stage)));
+  }
+}
+
+}  // namespace detail
+}  // namespace soidom

@@ -1,0 +1,79 @@
+#include "soidom/guard/guard.hpp"
+
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+namespace {
+
+thread_local GuardContext* g_guard = nullptr;
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kNetworkNodes: return "network nodes";
+    case Resource::kTuples: return "mapper tuples";
+    case Resource::kBddNodes: return "BDD nodes";
+  }
+  return "resource";
+}
+
+}  // namespace
+
+void GuardContext::checkpoint() {
+  if (cancel_.cancelled()) {
+    throw GuardError(ErrorCode::kCancelled, stage_,
+                     format("cancellation requested during %s",
+                            flow_stage_name(stage_)));
+  }
+  // The clock is read on the first call and then every 256th, keeping the
+  // steady_clock syscall off the per-iteration path.
+  if ((tick_++ & 0xffu) == 0 && deadline_.expired()) {
+    throw GuardError(ErrorCode::kDeadlineExceeded, stage_,
+                     format("deadline exceeded during %s",
+                            flow_stage_name(stage_)));
+  }
+}
+
+void GuardContext::charge(Resource resource, std::size_t n) {
+  const auto index = static_cast<std::size_t>(resource);
+  used_[index] += n;
+  const std::size_t limit = budget_.limit(resource);
+  if (limit != 0 && used_[index] > limit) {
+    throw GuardError(ErrorCode::kBudgetExceeded, stage_,
+                     format("%s budget exceeded during %s: %zu used, limit %zu",
+                            resource_name(resource), flow_stage_name(stage_),
+                            used_[index], limit));
+  }
+}
+
+GuardContext* current_guard() noexcept { return g_guard; }
+
+GuardScope::GuardScope(GuardContext& guard) : previous_(g_guard) {
+  g_guard = &guard;
+}
+
+GuardScope::~GuardScope() { g_guard = previous_; }
+
+StageScope::StageScope(FlowStage stage) {
+  if (g_guard != nullptr) {
+    previous_ = g_guard->stage();
+    g_guard->set_stage(stage);
+  }
+}
+
+StageScope::~StageScope() {
+  if (g_guard != nullptr) g_guard->set_stage(previous_);
+}
+
+void guard_checkpoint() {
+  if (g_guard != nullptr) g_guard->checkpoint();
+}
+
+void guard_charge(Resource resource, std::size_t n) {
+  if (g_guard != nullptr) g_guard->charge(resource, n);
+}
+
+FlowStage current_stage_or(FlowStage fallback) noexcept {
+  return g_guard != nullptr ? g_guard->stage() : fallback;
+}
+
+}  // namespace soidom

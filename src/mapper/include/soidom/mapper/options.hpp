@@ -67,4 +67,9 @@ struct MapperOptions {
   bool gate_at_fanout = true;
 };
 
+/// Validate every knob up front; throws soidom::Error with a message
+/// naming the offending field and its value (so bad knobs never surface
+/// as deep DP assertions).  Called by map_to_domino and validate(FlowOptions).
+void validate(const MapperOptions& options);
+
 }  // namespace soidom

@@ -5,7 +5,10 @@
 #include <unordered_map>
 
 #include "soidom/base/contracts.hpp"
+#include "soidom/base/strings.hpp"
 #include "soidom/domino/postpass.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
 
 namespace soidom {
 namespace {
@@ -41,12 +44,7 @@ class MapperImpl {
       : unate_(unate), net_(unate.net), opts_(opts) {
     SOIDOM_REQUIRE(net_.is_unate(),
                    "mapper input must be a unate (inverter-free) network");
-    SOIDOM_REQUIRE(opts_.max_height >= 2 && opts_.max_width >= 1,
-                   "infeasible pulldown shape limits (need H>=2, W>=1)");
-    SOIDOM_REQUIRE(opts_.max_height <= 64 && opts_.max_width <= 64,
-                   "pulldown shape limits above 64 are not supported");
-    SOIDOM_REQUIRE(opts_.clock_weight > 0.0 && opts_.clock_weight <= 1000.0,
-                   "clock_weight out of range");
+    validate(opts_);
     clock_cost_ = static_cast<std::int64_t>(
         std::llround(opts_.clock_weight * kCostUnitsPerTransistor));
     soi_ = opts_.engine == MappingEngine::kSoiDominoMap;
@@ -328,6 +326,7 @@ class MapperImpl {
   }
 
   void process_node(NodeId id) {
+    guard_checkpoint();
     const Node& n = net_.node(id);
     if (n.kind == NodeKind::kPi) {
       Cand leaf;
@@ -371,8 +370,14 @@ class MapperImpl {
         }
       }
     }
-    SOIDOM_REQUIRE(!raw.empty(),
-                   "no feasible pulldown shape; increase max_height");
+    if (raw.empty()) {
+      throw GuardError(
+          ErrorCode::kInfeasibleLimits, current_stage_or(FlowStage::kMap),
+          format("no feasible pulldown shape for node %u under W<=%d H<=%d; "
+                 "increase max_width/max_height",
+                 id.value, opts_.max_width, opts_.max_height));
+    }
+    guard_charge(Resource::kTuples, raw.size());
 
     // Per-shape Pareto pruning + beam cap.
     std::unordered_map<std::uint32_t, std::vector<Cand>> by_shape;
@@ -598,8 +603,31 @@ class MapperImpl {
 
 }  // namespace
 
+void validate(const MapperOptions& options) {
+  SOIDOM_REQUIRE(options.max_width >= 1 && options.max_width <= 64,
+                 format("MapperOptions.max_width = %d is invalid "
+                        "(need 1 <= max_width <= 64)",
+                        options.max_width));
+  SOIDOM_REQUIRE(options.max_height >= 2 && options.max_height <= 64,
+                 format("MapperOptions.max_height = %d is invalid "
+                        "(need 2 <= max_height <= 64)",
+                        options.max_height));
+  SOIDOM_REQUIRE(options.beam_width >= 1,
+                 format("MapperOptions.beam_width = %d is invalid "
+                        "(need beam_width >= 1)",
+                        options.beam_width));
+  SOIDOM_REQUIRE(
+      std::isfinite(options.clock_weight) && options.clock_weight > 0.0 &&
+          options.clock_weight <= 1000.0,
+      format("MapperOptions.clock_weight = %g is invalid "
+             "(need finite 0 < clock_weight <= 1000)",
+             options.clock_weight));
+}
+
 MappingResult map_to_domino(const UnateResult& unate,
                             const MapperOptions& options) {
+  StageScope stage(FlowStage::kMap);
+  SOIDOM_FAULT_PROBE(FlowStage::kMap);
   return MapperImpl(unate, options).run();
 }
 

@@ -4,6 +4,7 @@
 
 #include "soidom/base/contracts.hpp"
 #include "soidom/base/strings.hpp"
+#include "soidom/guard/guard.hpp"
 
 namespace soidom {
 
@@ -17,6 +18,9 @@ std::vector<SimWord> simulate_nodes(const Network& net,
     value[net.pis()[k].value] = pi_words[k];
   }
   for (std::uint32_t i = 2; i < net.size(); ++i) {
+    // Coarse granularity: one guard test per 1024 nodes keeps the hot
+    // loop branch-predictable while still bounding a huge network.
+    if ((i & 0x3ffu) == 0) guard_checkpoint();
     const Node& n = net.node(NodeId{i});
     switch (n.kind) {
       case NodeKind::kAnd:
@@ -144,6 +148,7 @@ bool equivalent_by_simulation(const Network& a, const Network& b, int rounds,
                      a.outputs().size() == b.outputs().size(),
                  "equivalent_by_simulation: interface mismatch");
   for (int r = 0; r < rounds; ++r) {
+    guard_checkpoint();
     const auto words = random_pi_words(a.pis().size(), rng);
     if (simulate_outputs(a, words) != simulate_outputs(b, words)) return false;
   }

@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "soidom/base/contracts.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
 #include "soidom/network/builder.hpp"
 
 namespace soidom {
@@ -155,6 +157,7 @@ class UnateConverter {
     if (const auto it = memo_.find(key(id, negated)); it != memo_.end()) {
       return it->second;
     }
+    guard_checkpoint();
     const Node& n = input_.node(id);
     NodeId out;
     switch (n.kind) {
@@ -178,12 +181,14 @@ class UnateConverter {
         const NodeId b = build(n.fanin1, negated);
         // DeMorgan: !(x & y) == !x | !y
         out = negated ? builder_.add_or(a, b) : builder_.add_and(a, b);
+        guard_charge(Resource::kNetworkNodes);
         break;
       }
       case NodeKind::kOr: {
         const NodeId a = build(n.fanin0, negated);
         const NodeId b = build(n.fanin1, negated);
         out = negated ? builder_.add_and(a, b) : builder_.add_or(a, b);
+        guard_charge(Resource::kNetworkNodes);
         break;
       }
     }
@@ -201,6 +206,8 @@ class UnateConverter {
 }  // namespace
 
 UnateResult make_unate(const Network& input, PhaseAssignment phases) {
+  StageScope stage(FlowStage::kUnate);
+  SOIDOM_FAULT_PROBE(FlowStage::kUnate);
   return UnateConverter(input).run(phases);
 }
 
