@@ -1,0 +1,184 @@
+/// Wavefront-mapper performance harness: times the DP at 1, 2 and N
+/// threads (N = hardware concurrency) on large generated and paper-suite
+/// circuits, asserts the mapped netlists are bit-identical across thread
+/// counts, and emits BENCH_mapper.json (schema in DESIGN.md section 8).
+///
+/// Usage: perf_mapper [output.json]   (default BENCH_mapper.json)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "soidom/base/parallel.hpp"
+#include "soidom/benchgen/generators.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/domino/serialize.hpp"
+#include "soidom/mapper/mapper.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace {
+
+using namespace soidom;
+
+struct Run {
+  int threads = 1;
+  double wall_ms = 0.0;
+  double nodes_per_sec = 0.0;
+};
+
+struct CircuitReport {
+  std::string name;
+  std::size_t nodes = 0;
+  int dp_levels = 0;
+  std::size_t candidates_examined = 0;
+  std::size_t peak_candidates = 0;
+  std::vector<Run> runs;
+  bool identical = true;
+};
+
+/// Best-of-k wall time for one thread count; returns the mapping result of
+/// the last repetition so the caller can compare serializations.
+double time_mapping(const UnateResult& unate, int threads, int reps,
+                    MappingResult* out) {
+  MapperOptions opts;
+  opts.num_threads = threads;
+  double best_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    MappingResult r = map_to_domino(unate, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    best_ms = std::min(
+        best_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    *out = std::move(r);
+  }
+  return best_ms;
+}
+
+CircuitReport bench_circuit(const std::string& name, const Network& net,
+                            const std::vector<int>& thread_counts, int reps) {
+  CircuitReport rep;
+  rep.name = name;
+  const UnateResult unate = make_unate(net);
+  rep.nodes = unate.net.size();
+
+  std::string reference_dnl;
+  for (const int threads : thread_counts) {
+    MappingResult r;
+    const double ms = time_mapping(unate, threads, reps, &r);
+    const std::string dnl = write_dnl(r.netlist);
+    if (threads == thread_counts.front()) {
+      reference_dnl = dnl;
+      rep.dp_levels = r.dp_levels;
+      rep.candidates_examined = r.candidates_examined;
+      rep.peak_candidates = r.candidates_retained;
+    } else if (dnl != reference_dnl) {
+      rep.identical = false;
+    }
+    Run run;
+    run.threads = threads;
+    run.wall_ms = ms;
+    run.nodes_per_sec =
+        ms > 0.0 ? static_cast<double>(rep.nodes) / (ms / 1000.0) : 0.0;
+    rep.runs.push_back(run);
+    std::printf("  %-12s %2d thread(s): %8.2f ms  (%.0f nodes/s)\n",
+                name.c_str(), threads, ms, run.nodes_per_sec);
+  }
+  return rep;
+}
+
+double speedup_at(const CircuitReport& rep, int threads) {
+  double base = 0.0, at = 0.0;
+  for (const Run& r : rep.runs) {
+    if (r.threads == 1) base = r.wall_ms;
+    if (r.threads == threads) at = r.wall_ms;
+  }
+  return at > 0.0 ? base / at : 0.0;
+}
+
+void write_json(const std::string& path,
+                const std::vector<CircuitReport>& reports,
+                const std::vector<int>& thread_counts) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", path.c_str());
+    std::abort();
+  }
+  const int n_threads = thread_counts.back();
+  std::fprintf(f, "{\n  \"bench\": \"mapper_wavefront\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hardware_thread_count());
+  std::fprintf(f, "  \"thread_counts\": [");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::fprintf(f, "%s%d", i ? ", " : "", thread_counts[i]);
+  }
+  std::fprintf(f, "],\n  \"circuits\": [\n");
+  double log_sum = 0.0;
+  bool all_identical = true;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const CircuitReport& rep = reports[i];
+    all_identical = all_identical && rep.identical;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"nodes\": %zu, \"dp_levels\": %d,\n"
+                 "     \"candidates_examined\": %zu, \"peak_candidates\": %zu,"
+                 " \"identical\": %s,\n     \"runs\": [",
+                 rep.name.c_str(), rep.nodes, rep.dp_levels,
+                 rep.candidates_examined, rep.peak_candidates,
+                 rep.identical ? "true" : "false");
+    for (std::size_t j = 0; j < rep.runs.size(); ++j) {
+      const Run& r = rep.runs[j];
+      std::fprintf(f,
+                   "%s\n       {\"threads\": %d, \"wall_ms\": %.3f,"
+                   " \"nodes_per_sec\": %.1f}",
+                   j ? "," : "", r.threads, r.wall_ms, r.nodes_per_sec);
+    }
+    std::fprintf(f, "],\n     \"speedup_2t\": %.3f, \"speedup_nt\": %.3f}%s\n",
+                 speedup_at(rep, 2), speedup_at(rep, n_threads),
+                 i + 1 < reports.size() ? "," : "");
+    log_sum += std::log(std::max(speedup_at(rep, n_threads), 1e-9));
+  }
+  std::fprintf(f, "  ],\n  \"summary\": {\"geomean_speedup_nt\": %.3f,"
+               " \"all_identical\": %s}\n}\n",
+               std::exp(log_sum / static_cast<double>(reports.size())),
+               all_identical ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_mapper.json";
+  // Always measure 1/2/N even when oversubscribed: the identity check is
+  // meaningful regardless, and hardware_concurrency in the JSON tells the
+  // reader how to interpret the speedups.
+  const int hw = static_cast<int>(hardware_thread_count());
+  std::vector<int> thread_counts = {1, 2, std::max(4, hw)};
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  std::printf("perf_mapper: hardware_concurrency=%d, thread counts:", hw);
+  for (const int t : thread_counts) std::printf(" %d", t);
+  std::printf("\n");
+
+  constexpr int kReps = 3;
+  std::vector<CircuitReport> reports;
+  // Large generated circuits: wide DP levels, where the wavefront pays off.
+  reports.push_back(bench_circuit("spn_48x6", gen_spn(48, 6, 0x5EED),
+                                  thread_counts, kReps));
+  reports.push_back(bench_circuit("mult16", gen_multiplier(16), thread_counts,
+                                  kReps));
+  // Paper-suite circuits (largest of the registered set).
+  for (const char* name : {"c5315", "c7552", "k2"}) {
+    reports.push_back(
+        bench_circuit(name, build_benchmark(name), thread_counts, kReps));
+  }
+
+  write_json(out, reports, thread_counts);
+
+  bool ok = true;
+  for (const CircuitReport& rep : reports) ok = ok && rep.identical;
+  std::printf("wrote %s; netlists %s across thread counts\n", out.c_str(),
+              ok ? "IDENTICAL" : "DIVERGENT");
+  return ok ? 0 : 1;
+}

@@ -8,13 +8,17 @@
 ///         -> transistor sizing                     (paper's follow-up step)
 ///         -> SPICE + Verilog export for downstream tooling.
 ///
-/// Build & run:   build/examples/asic_flow [--diag-json] [circuit.blif]
+/// Build & run:   build/examples/asic_flow [--diag-json] [--threads=N]
+///                                         [circuit.blif]
 /// Without a circuit argument a built-in 4-bit comparator BLIF is used.
+/// --threads=N sets the mapper DP thread count (0 = hardware concurrency,
+/// 1 = sequential; the result is bit-identical for every count).
 ///
 /// Exit codes (docs/ERRORS.md): 0 success, 2 parse error, 3 mapping
 /// infeasible, 4 verification mismatch, 5 deadline/budget, 64 bad
 /// options, 1 internal error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -67,10 +71,13 @@ const char* kDefaultBlif = R"(
 
 int main(int argc, char** argv) {
   bool diag_json = false;
+  int num_threads = 0;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--diag-json") == 0) {
       diag_json = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = std::atoi(argv[i] + 10);
     } else {
       path = argv[i];
     }
@@ -105,6 +112,7 @@ int main(int argc, char** argv) {
     options.variant = FlowVariant::kSoiDominoMap;
     options.sequence_aware = true;
     options.exact_equivalence = true;
+    options.mapper.num_threads = num_threads;
     const FlowOutcome outcome = run_flow_guarded(model, options);
     for (const Diagnostic& warning : outcome.warnings) {
       std::fprintf(stderr, "warning: %s\n", warning.to_string().c_str());

@@ -8,6 +8,9 @@
 ///   --objective=area|depth   cost objective (default area)
 ///   --wmax=N --hmax=N        pulldown shape limits (default 5 / 8)
 ///   --k=F                    clock-transistor cost weight (default 1.0)
+///   --threads=N              mapper DP threads; 0 = hardware concurrency,
+///                            1 = sequential (default 0; the result is
+///                            bit-identical for every thread count)
 ///   --minimize               two-level minimize covers before mapping (BLIF)
 ///   --seq-aware              prune unexcitable discharge transistors
 ///   --exact                  exact BDD equivalence checking
@@ -43,7 +46,8 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s [--flow=domino|rs|soi] [--objective=area|depth]\n"
-      "          [--wmax=N] [--hmax=N] [--k=F] [--minimize] [--seq-aware]\n"
+      "          [--wmax=N] [--hmax=N] [--k=F] [--threads=N] [--minimize]\n"
+      "          [--seq-aware]\n"
       "          [--exact] [--dump] [--spice=FILE] [--verilog=FILE]\n"
       "          [--timing] [--power] [--diag-json] circuit.{blif,v}\n",
       argv0);
@@ -86,6 +90,8 @@ int main(int argc, char** argv) {
       options.mapper.max_height = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--k=", 0) == 0) {
       options.mapper.clock_weight = std::atof(arg.c_str() + 4);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.mapper.num_threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--minimize") {
       options.decompose.minimize_covers = true;
     } else if (arg == "--seq-aware") {

@@ -11,8 +11,11 @@
 /// installs a GuardContext for the duration of the flow; a tripped guard
 /// throws GuardError, which the facade converts into a Diagnostic.
 ///
-/// All of this is single-threaded per flow: a GuardContext must not be
-/// shared by concurrently running flows, but a CancelToken may be
+/// A GuardContext must not be shared by concurrently running *flows*, but
+/// checkpoint()/charge() are thread-safe (relaxed atomics), so one flow
+/// may fan its hot loop out over worker threads — the wavefront mapper
+/// installs the owning flow's guard on each worker via GuardScope and the
+/// budget/deadline still hold across all of them.  A CancelToken may be
 /// triggered from any thread.
 #pragma once
 
@@ -100,24 +103,28 @@ class GuardContext {
 
   /// Throws GuardError (kCancelled / kDeadlineExceeded) when tripped.
   /// Cancellation is checked every call; the clock only every 256 calls.
+  /// Thread-safe.
   void checkpoint();
 
   /// Add `n` to the resource counter; throws GuardError(kBudgetExceeded)
-  /// when the ceiling is crossed.
+  /// when the ceiling is crossed.  Thread-safe: concurrent charges
+  /// accumulate exactly (relaxed fetch_add), so whether the total trips
+  /// the ceiling is independent of thread interleaving.
   void charge(Resource resource, std::size_t n);
 
   void set_stage(FlowStage stage) { stage_ = stage; }
   FlowStage stage() const { return stage_; }
   std::size_t used(Resource resource) const {
-    return used_[static_cast<std::size_t>(resource)];
+    return used_[static_cast<std::size_t>(resource)].load(
+        std::memory_order_relaxed);
   }
 
  private:
   Deadline deadline_;
   CancelToken cancel_;
   ResourceBudget budget_;
-  std::size_t used_[kNumResources] = {0, 0, 0};
-  unsigned tick_ = 0;
+  std::atomic<std::size_t> used_[kNumResources] = {};
+  std::atomic<unsigned> tick_{0};
   FlowStage stage_ = FlowStage::kNone;
 };
 

@@ -25,8 +25,10 @@ void GuardContext::checkpoint() {
                             flow_stage_name(stage_)));
   }
   // The clock is read on the first call and then every 256th, keeping the
-  // steady_clock syscall off the per-iteration path.
-  if ((tick_++ & 0xffu) == 0 && deadline_.expired()) {
+  // steady_clock syscall off the per-iteration path.  The tick is a
+  // relaxed atomic shared by all workers under the guard.
+  if ((tick_.fetch_add(1, std::memory_order_relaxed) & 0xffu) == 0 &&
+      deadline_.expired()) {
     throw GuardError(ErrorCode::kDeadlineExceeded, stage_,
                      format("deadline exceeded during %s",
                             flow_stage_name(stage_)));
@@ -35,13 +37,14 @@ void GuardContext::checkpoint() {
 
 void GuardContext::charge(Resource resource, std::size_t n) {
   const auto index = static_cast<std::size_t>(resource);
-  used_[index] += n;
+  const std::size_t now =
+      used_[index].fetch_add(n, std::memory_order_relaxed) + n;
   const std::size_t limit = budget_.limit(resource);
-  if (limit != 0 && used_[index] > limit) {
+  if (limit != 0 && now > limit) {
     throw GuardError(ErrorCode::kBudgetExceeded, stage_,
                      format("%s budget exceeded during %s: %zu used, limit %zu",
                             resource_name(resource), flow_stage_name(stage_),
-                            used_[index], limit));
+                            now, limit));
   }
 }
 

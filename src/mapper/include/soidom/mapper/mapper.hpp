@@ -66,6 +66,15 @@ struct MappingResult {
   int dp_analyzer_mismatches = 0;
   /// DP-predicted weighted cost of the whole implementation.
   std::int64_t predicted_cost = 0;
+
+  // --- DP effort counters (perf trajectory; see bench/perf_mapper) ------
+  /// Raw candidates examined before Pareto pruning.
+  std::size_t candidates_examined = 0;
+  /// Candidates retained in the DP arena (peak == final: the arena only
+  /// grows).
+  std::size_t candidates_retained = 0;
+  /// Topological wavefronts the DP ran (parallelism unit count).
+  int dp_levels = 0;
 };
 
 /// Run the mapper.  Throws soidom::Error when the unate network is not
@@ -88,6 +97,12 @@ class TupleOracle {
 
   /// The formed-gate ({1,1}) cost of `node` in centi-transistor units.
   std::int64_t gate_cost_of(NodeId node) const;
+
+  /// Realize the full netlist from this oracle's DP state.  The result is
+  /// memoized: repeated calls return the identical MappingResult (no
+  /// silent empty netlist on re-entry), and tuples_of/gate_cost_of remain
+  /// valid after mapping.
+  MappingResult map() const;
 
  private:
   struct Impl;

@@ -65,6 +65,13 @@ struct MapperOptions {
   /// Nodes with fanout > 1 always form gates.  When false (ablation), the
   /// DP may instead duplicate such cones into each fanout.
   bool gate_at_fanout = true;
+
+  /// Worker threads for the wavefront DP (all nodes of one topological
+  /// level are mapped concurrently).  0 = hardware concurrency (default);
+  /// 1 = fully sequential.  The mapped netlist and every cost are
+  /// bit-identical for every thread count: per-node results are produced
+  /// into per-thread arenas and merged in node-id order.
+  int num_threads = 0;
 };
 
 /// Validate every knob up front; throws soidom::Error with a message

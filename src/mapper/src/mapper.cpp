@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <tuple>
 
 #include "soidom/base/contracts.hpp"
+#include "soidom/base/parallel.hpp"
 #include "soidom/base/strings.hpp"
 #include "soidom/domino/postpass.hpp"
 #include "soidom/guard/fault.hpp"
@@ -38,6 +39,14 @@ struct Cand {
   int p_total() const { return p_bot + p_above; }
 };
 
+/// The DP runs as a *wavefront*: nodes are grouped by topological level and
+/// every node of one level is mapped concurrently (its fanins live in
+/// strictly earlier levels, so the shared arena is read-only during a
+/// level).  Each worker appends its nodes' surviving candidates to a
+/// per-worker output buffer and records a NodeDecision; after the level
+/// joins, the main thread merges buffers into the global arena in node-id
+/// order.  The merged arena — and with it every downstream tie-break — is
+/// therefore bit-identical for every thread count, including 1.
 class MapperImpl {
  public:
   MapperImpl(const UnateResult& unate, const MapperOptions& opts)
@@ -49,16 +58,23 @@ class MapperImpl {
         std::llround(opts_.clock_weight * kCostUnitsPerTransistor));
     soi_ = opts_.engine == MappingEngine::kSoiDominoMap;
     disch_price_ = soi_ ? clock_cost_ : 0;
+    // Shape-grid extent: OVERSIZE parallels (W up to 2*Wmax) are retained
+    // as complex-gate split fodder when enabled.
+    grid_wmax_ = opts_.enable_complex_gates ? 2 * opts_.max_width
+                                            : opts_.max_width;
+    grid_hmax_ = opts_.max_height;
   }
 
   void run_dp() {
     if (dp_done_) return;
     dp_done_ = true;
+    guard_ = current_guard();
     fanout_ = net_.fanout_counts();
     node_cands_.resize(net_.size());
     gate_cand_.assign(net_.size(), kNoCand);
     gate_cand2_.assign(net_.size(), kNoCand);
     gate_leaf_cand_.assign(net_.size(), kNoCand);
+    pi_leaf_cand_.assign(net_.size(), kNoCand);
     gate_cost_.assign(net_.size(), 0);
     gate_level_.assign(net_.size(), 0);
     input_signal_.assign(net_.size(), 0);
@@ -85,10 +101,62 @@ class MapperImpl {
       input_signal_[net_.pis()[j].value] = sig;
     }
 
-    for (std::uint32_t i = 2; i < net_.size(); ++i) process_node(NodeId{i});
+    // Wavefront 0: primary-input leaf candidates, in id order.
+    for (std::uint32_t i = 2; i < net_.size(); ++i) {
+      if (net_.kind(NodeId{i}) != NodeKind::kPi) continue;
+      Cand leaf;
+      leaf.op = Cand::Op::kInputLeaf;
+      leaf.a = input_signal_[i];
+      leaf.committed = kCostUnitsPerTransistor;
+      leaf.has_pi = true;
+      pi_leaf_cand_[i] = push_cand(leaf);
+    }
+
+    // Levelize the AND/OR nodes; ids within a wave stay ascending.
+    const std::vector<int> level = net_.levels();
+    std::vector<std::vector<std::uint32_t>> waves;
+    std::size_t widest = 1;
+    for (std::uint32_t i = 2; i < net_.size(); ++i) {
+      const NodeKind kind = net_.kind(NodeId{i});
+      if (kind != NodeKind::kAnd && kind != NodeKind::kOr) continue;
+      const auto l = static_cast<std::size_t>(level[i]);
+      if (waves.size() <= l) waves.resize(l + 1);
+      waves[l].push_back(i);
+      widest = std::max(widest, waves[l].size());
+    }
+
+    unsigned num_threads = opts_.num_threads == 0
+                               ? hardware_thread_count()
+                               : static_cast<unsigned>(opts_.num_threads);
+    // More workers than the widest wave can never help.
+    num_threads = static_cast<unsigned>(
+        std::min<std::size_t>(num_threads, widest));
+    ThreadPool pool(num_threads);
+    scratch_.resize(pool.size());
+    for (Scratch& s : scratch_) {
+      s.cells.resize(static_cast<std::size_t>(grid_wmax_) * grid_hmax_);
+    }
+    worker_out_.resize(pool.size());
+    decision_.resize(net_.size());
+
+    for (const std::vector<std::uint32_t>& wave : waves) {
+      if (wave.empty()) continue;
+      ++dp_levels_;
+      guard_checkpoint();  // main-thread deadline / cancellation per level
+      for (std::vector<Cand>& out : worker_out_) out.clear();
+      pool.run(wave.size(), [&](std::size_t item, unsigned worker) {
+        process_wave_node(NodeId{wave[item]}, worker);
+      });
+      merge_level(wave);
+    }
+    scratch_.clear();
+    worker_out_.clear();
+    decision_.clear();
   }
 
   MappingResult run() {
+    if (ran_) return result_;
+    ran_ = true;
     run_dp();
     gate_signal_.assign(net_.size(), kNoSignal);
     for (std::size_t j = 0; j < net_.outputs().size(); ++j) {
@@ -116,11 +184,13 @@ class MapperImpl {
       }
       netlist_.add_output(std::move(out));
     }
-    MappingResult result;
-    result.dp_analyzer_mismatches = mismatches_;
-    result.predicted_cost = realized_weighted_cost();
-    result.netlist = std::move(netlist_);
-    return result;
+    result_.dp_analyzer_mismatches = mismatches_;
+    result_.predicted_cost = realized_weighted_cost();
+    result_.candidates_examined = candidates_examined_;
+    result_.candidates_retained = arena_.size();
+    result_.dp_levels = dp_levels_;
+    result_.netlist = std::move(netlist_);
+    return result_;
   }
 
   std::vector<TupleInfo> tuples_of(NodeId node) {
@@ -230,6 +300,19 @@ class MapperImpl {
     return true;
   }
 
+  /// Total order on candidates: primary DP rank, then every remaining
+  /// field.  Beam truncation under an unstable std::sort is therefore
+  /// reproducible on any platform and thread count.
+  bool cand_less(const Cand& a, const Cand& b) const {
+    const auto ra = rank(a.committed, a.level, a.p_total());
+    const auto rb = rank(b.committed, b.level, b.p_total());
+    if (ra != rb) return ra < rb;
+    return std::tie(a.level, a.p_bot, a.p_above, a.disch, a.par_b, a.has_pi,
+                    a.op, a.a, a.b) <
+           std::tie(b.level, b.p_bot, b.p_above, b.disch, b.par_b, b.has_pi,
+                    b.op, b.a, b.b);
+  }
+
   // --- candidate construction --------------------------------------------
 
   std::uint32_t push_cand(const Cand& c) {
@@ -244,9 +327,7 @@ class MapperImpl {
     // With complex gates, OVERSIZE parallels (Wmax < W <= 2*Wmax) are kept
     // as split fodder: they can only become a dual gate, never a single
     // pulldown or a series operand.
-    const int limit =
-        opts_.enable_complex_gates ? 2 * opts_.max_width : opts_.max_width;
-    if (w > limit) return;
+    if (w > grid_wmax_) return;
     Cand c;
     c.op = Cand::Op::kParallel;
     c.a = xi;
@@ -299,52 +380,98 @@ class MapperImpl {
     out.push_back(c);
   }
 
+  /// Intrinsic (structure-independent) total preorder on candidates used
+  /// for symmetric tie-breaks: compares only costed content, never arena
+  /// indices, so the comparison is invariant under node renumbering.
+  static bool cand_content_less(const Cand& a, const Cand& b) {
+    return std::tie(a.committed, a.level, a.w, a.h, a.p_bot, a.p_above,
+                    a.disch, a.par_b, a.has_pi) <
+           std::tie(b.committed, b.level, b.w, b.h, b.p_bot, b.p_above,
+                    b.disch, b.par_b, b.has_pi);
+  }
+
   /// The paper's placement heuristic: the operand whose bottom is a
   /// parallel stack goes to the bottom; when both qualify, the one with the
-  /// larger p_dis (it defers more discharge transistors).
-  bool second_goes_bottom(const Cand& x, const Cand& y) const {
+  /// larger p_dis (it defers more discharge transistors).  Exact p_dis
+  /// ties no longer depend on fanin textual order (the old `>=` picked
+  /// whichever operand happened to be fanin1): they break on intrinsic
+  /// candidate content, then on arena index for fully identical
+  /// candidates, where either choice costs the same.
+  bool second_goes_bottom(const Cand& x, std::uint32_t xi, const Cand& y,
+                          std::uint32_t yi) const {
     if (x.par_b != y.par_b) return y.par_b;
-    if (x.par_b && y.par_b) return y.p_total() >= x.p_total();
+    if (x.par_b && y.par_b) {
+      if (x.p_total() != y.p_total()) return y.p_total() > x.p_total();
+      if (cand_content_less(y, x)) return true;
+      if (cand_content_less(x, y)) return false;
+      return yi < xi;
+    }
     return true;  // neither: keep textual order (x top, y bottom)
   }
 
-  /// Candidate sets usable by a parent combining over `child`.
-  std::vector<std::uint32_t> usable_set(NodeId child) const {
+  /// Candidate sets usable by a parent combining over `child`, written into
+  /// the caller's scratch vector (no allocation in steady state).
+  void usable_set(NodeId child, std::vector<std::uint32_t>& out) const {
+    out.clear();
     const NodeKind kind = net_.kind(child);
     SOIDOM_ASSERT_MSG(kind != NodeKind::kConst0 && kind != NodeKind::kConst1,
                       "constant feeding a mapped gate (should be swept)");
     if (kind == NodeKind::kPi) {
-      return {pi_leaf_cand_.at(child.value)};
+      SOIDOM_ASSERT(pi_leaf_cand_[child.value] != kNoCand);
+      out.push_back(pi_leaf_cand_[child.value]);
+      return;
     }
     SOIDOM_ASSERT(kind == NodeKind::kAnd || kind == NodeKind::kOr);
     if (opts_.gate_at_fanout && fanout_[child.value] > 1) {
-      return {gate_leaf_cand_[child.value]};
-    }
-    std::vector<std::uint32_t> set = node_cands_[child.value];
-    set.push_back(gate_leaf_cand_[child.value]);
-    return set;
-  }
-
-  void process_node(NodeId id) {
-    guard_checkpoint();
-    const Node& n = net_.node(id);
-    if (n.kind == NodeKind::kPi) {
-      Cand leaf;
-      leaf.op = Cand::Op::kInputLeaf;
-      leaf.a = input_signal_[id.value];
-      leaf.committed = kCostUnitsPerTransistor;
-      leaf.has_pi = true;
-      pi_leaf_cand_[id.value] = push_cand(leaf);
+      out.push_back(gate_leaf_cand_[child.value]);
       return;
     }
-    if (n.kind != NodeKind::kAnd && n.kind != NodeKind::kOr) return;
+    const std::vector<std::uint32_t>& cands = node_cands_[child.value];
+    out.insert(out.end(), cands.begin(), cands.end());
+    out.push_back(gate_leaf_cand_[child.value]);
+  }
 
-    const auto s0 = usable_set(n.fanin0);
-    const auto s1 = usable_set(n.fanin1);
+  // --- wavefront DP -------------------------------------------------------
+
+  /// Reusable per-worker state: the raw combination buffer and the flat
+  /// Wmax x Hmax Pareto bucket grid.  Buckets keep their capacity across
+  /// nodes; `touched` lists the dirty cells so clearing is O(shapes used).
+  struct Scratch {
     std::vector<Cand> raw;
-    raw.reserve(s0.size() * s1.size() * 2);
-    for (const std::uint32_t i0 : s0) {
-      for (const std::uint32_t i1 : s1) {
+    std::vector<std::vector<Cand>> cells;
+    std::vector<std::uint32_t> touched;
+    std::vector<std::uint32_t> s0, s1;
+  };
+
+  /// One node's DP outcome, recorded by a worker and merged (in node-id
+  /// order) into the global arena by the main thread.
+  struct NodeDecision {
+    std::uint32_t worker = 0;
+    std::uint32_t begin = 0;  ///< offset into worker_out_[worker]
+    std::uint32_t count = 0;  ///< surviving candidates
+    std::int32_t best_local = -1;       ///< best gate: index into the range
+    std::uint32_t complex_a = kNoCand;  ///< complex gate: global child pair
+    std::uint32_t complex_b = kNoCand;
+    std::uint32_t raw_count = 0;
+    GateEval eval;
+  };
+
+  std::size_t cell_index(int w, int h) const {
+    return static_cast<std::size_t>(w - 1) * grid_hmax_ +
+           static_cast<std::size_t>(h - 1);
+  }
+
+  void process_wave_node(NodeId id, unsigned worker) {
+    if (guard_ != nullptr) guard_->checkpoint();
+    const Node& n = net_.node(id);
+    Scratch& scratch = scratch_[worker];
+    usable_set(n.fanin0, scratch.s0);
+    usable_set(n.fanin1, scratch.s1);
+
+    std::vector<Cand>& raw = scratch.raw;
+    raw.clear();
+    for (const std::uint32_t i0 : scratch.s0) {
+      for (const std::uint32_t i1 : scratch.s1) {
         const Cand& c0 = arena_[i0];
         const Cand& c1 = arena_[i1];
         if (n.kind == NodeKind::kOr) {
@@ -363,7 +490,7 @@ class MapperImpl {
         } else if (opts_.exhaustive_ordering) {
           try_and(raw, c0, i0, c1, i1);
           try_and(raw, c1, i1, c0, i0);
-        } else if (second_goes_bottom(c0, c1)) {
+        } else if (second_goes_bottom(c0, i0, c1, i1)) {
           try_and(raw, c0, i0, c1, i1);
         } else {
           try_and(raw, c1, i1, c0, i0);
@@ -377,12 +504,13 @@ class MapperImpl {
                  "increase max_width/max_height",
                  id.value, opts_.max_width, opts_.max_height));
     }
-    guard_charge(Resource::kTuples, raw.size());
+    if (guard_ != nullptr) guard_->charge(Resource::kTuples, raw.size());
 
-    // Per-shape Pareto pruning + beam cap.
-    std::unordered_map<std::uint32_t, std::vector<Cand>> by_shape;
+    // Per-shape Pareto pruning on the flat bucket grid.
     for (const Cand& c : raw) {
-      auto& bucket = by_shape[(static_cast<std::uint32_t>(c.w) << 8) | c.h];
+      const std::size_t cell = cell_index(c.w, c.h);
+      std::vector<Cand>& bucket = scratch.cells[cell];
+      if (bucket.empty()) scratch.touched.push_back(static_cast<std::uint32_t>(cell));
       bool dominated = false;
       for (const Cand& kept : bucket) {
         if (dominates(kept, c)) {
@@ -395,33 +523,40 @@ class MapperImpl {
       bucket.push_back(c);
     }
 
-    std::vector<std::uint32_t>& set = node_cands_[id.value];
-    for (auto& [shape, bucket] : by_shape) {
-      std::sort(bucket.begin(), bucket.end(), [&](const Cand& a, const Cand& b) {
-        return rank(a.committed, a.level, a.p_total()) <
-               rank(b.committed, b.level, b.p_total());
-      });
+    // Beam-cap each shape and emit survivors in canonical (W, H) order.
+    NodeDecision d;
+    d.worker = worker;
+    d.raw_count = static_cast<std::uint32_t>(raw.size());
+    std::vector<Cand>& out = worker_out_[worker];
+    d.begin = static_cast<std::uint32_t>(out.size());
+    std::sort(scratch.touched.begin(), scratch.touched.end());
+    for (const std::uint32_t cell : scratch.touched) {
+      std::vector<Cand>& bucket = scratch.cells[cell];
+      std::sort(bucket.begin(), bucket.end(),
+                [&](const Cand& a, const Cand& b) { return cand_less(a, b); });
       const std::size_t keep =
           std::min(bucket.size(), static_cast<std::size_t>(opts_.beam_width));
-      for (std::size_t k = 0; k < keep; ++k) set.push_back(push_cand(bucket[k]));
+      out.insert(out.end(), bucket.begin(), bucket.begin() + keep);
+      bucket.clear();
     }
+    scratch.touched.clear();
+    d.count = static_cast<std::uint32_t>(out.size()) - d.begin;
+    const Cand* kept = out.data() + d.begin;
 
     // Gate formation: pick the best candidate under the objective.
-    std::uint32_t best = kNoCand;
-    std::uint32_t best2 = kNoCand;  // second pulldown of a complex gate
-    GateEval best_eval;
-    for (const std::uint32_t ci : set) {
-      if (arena_[ci].w > opts_.max_width) continue;  // split fodder only
-      const GateEval e = eval_gate(arena_[ci]);
-      if (best == kNoCand ||
-          rank(e.cost, e.level, arena_[ci].p_total()) <
-              rank(best_eval.cost, best_eval.level, arena_[best].p_total())) {
-        best = ci;
-        best2 = kNoCand;
-        best_eval = e;
+    for (std::uint32_t k = 0; k < d.count; ++k) {
+      const Cand& c = kept[k];
+      if (c.w > opts_.max_width) continue;  // split fodder only
+      const GateEval e = eval_gate(c);
+      if (d.best_local < 0 ||
+          rank(e.cost, e.level, c.p_total()) <
+              rank(d.eval.cost, d.eval.level,
+                   kept[d.best_local].p_total())) {
+        d.best_local = static_cast<std::int32_t>(k);
+        d.eval = e;
       }
     }
-    SOIDOM_ASSERT(best != kNoCand);
+    SOIDOM_ASSERT(d.best_local >= 0);
 
     // Complex-gate option (paper solution 7): at an OR node, form the gate
     // from one pulldown per operand joined by a static NAND2.  Each
@@ -436,14 +571,13 @@ class MapperImpl {
       };
       // Every parallel-rooted candidate (including the oversize ones kept
       // as split fodder) can be cut at its root into the gate's two
-      // pulldowns.
-      for (const std::uint32_t ci : set) {
-        const Cand& c = arena_[ci];
+      // pulldowns; the halves are candidates of the *children*, so their
+      // arena indices are already final.
+      for (std::uint32_t k = 0; k < d.count; ++k) {
+        const Cand& c = kept[k];
         if (c.op != Cand::Op::kParallel) continue;
-        const std::uint32_t i0 = c.a;
-        const std::uint32_t i1 = c.b;
-        const Cand& a = arena_[i0];
-        const Cand& b = arena_[i1];
+        const Cand& a = arena_[c.a];
+        const Cand& b = arena_[c.b];
         if (a.w > opts_.max_width || b.w > opts_.max_width) continue;
         const auto [cost_a, disch_a] = resolved(a);
         const auto [cost_b, disch_b] = resolved(b);
@@ -454,29 +588,56 @@ class MapperImpl {
                  (b.has_pi ? clock_cost_ : 0);
         e.level = std::max(a.level, b.level) + 1;
         const int pending = a.p_total() + b.p_total();
+        const int incumbent_pending =
+            d.complex_a == kNoCand
+                ? kept[d.best_local].p_total()
+                : arena_[d.complex_a].p_total() + arena_[d.complex_b].p_total();
         if (rank(e.cost, e.level, pending) <
-            rank(best_eval.cost, best_eval.level,
-                 best2 == kNoCand ? arena_[best].p_total()
-                                  : arena_[best].p_total() +
-                                        arena_[best2].p_total())) {
-          best = i0;
-          best2 = i1;
-          best_eval = e;
+            rank(d.eval.cost, d.eval.level, incumbent_pending)) {
+          d.complex_a = c.a;
+          d.complex_b = c.b;
+          d.eval = e;
         }
       }
     }
 
-    gate_cand_[id.value] = best;
-    gate_cand2_[id.value] = best2;
-    gate_cost_[id.value] = best_eval.cost;
-    gate_level_[id.value] = best_eval.level;
+    // Budget accounting: the retained candidates (plus the gate-leaf tuple
+    // merged later) grow the arena for the rest of the run, so they are
+    // charged in addition to the transient raw combinations above.
+    if (guard_ != nullptr) {
+      guard_->charge(Resource::kTuples, static_cast<std::size_t>(d.count) + 1);
+    }
+    decision_[id.value] = d;
+  }
 
-    Cand leaf;
-    leaf.op = Cand::Op::kGateLeaf;
-    leaf.a = id.value;
-    leaf.committed = best_eval.cost + kCostUnitsPerTransistor;
-    leaf.level = static_cast<std::int16_t>(best_eval.level);
-    gate_leaf_cand_[id.value] = push_cand(leaf);
+  /// Commit one wavefront: append every node's survivors to the global
+  /// arena in ascending node-id order and finalize its gate choice.
+  void merge_level(const std::vector<std::uint32_t>& wave) {
+    for (const std::uint32_t idv : wave) {
+      const NodeDecision& d = decision_[idv];
+      const Cand* kept = worker_out_[d.worker].data() + d.begin;
+      const auto base = static_cast<std::uint32_t>(arena_.size());
+      std::vector<std::uint32_t>& set = node_cands_[idv];
+      set.reserve(d.count);
+      for (std::uint32_t k = 0; k < d.count; ++k) set.push_back(push_cand(kept[k]));
+      if (d.complex_a != kNoCand) {
+        gate_cand_[idv] = d.complex_a;
+        gate_cand2_[idv] = d.complex_b;
+      } else {
+        gate_cand_[idv] = base + static_cast<std::uint32_t>(d.best_local);
+        gate_cand2_[idv] = kNoCand;
+      }
+      gate_cost_[idv] = d.eval.cost;
+      gate_level_[idv] = d.eval.level;
+      candidates_examined_ += d.raw_count;
+
+      Cand leaf;
+      leaf.op = Cand::Op::kGateLeaf;
+      leaf.a = idv;
+      leaf.committed = d.eval.cost + kCostUnitsPerTransistor;
+      leaf.level = static_cast<std::int16_t>(d.eval.level);
+      gate_leaf_cand_[idv] = push_cand(leaf);
+    }
   }
 
   // --- realization ---------------------------------------------------------
@@ -583,11 +744,16 @@ class MapperImpl {
   std::int64_t clock_cost_ = kCostUnitsPerTransistor;
   std::int64_t disch_price_ = kCostUnitsPerTransistor;
   bool soi_ = true;
+  int grid_wmax_ = 5;
+  int grid_hmax_ = 8;
   bool dp_done_ = false;
+  bool ran_ = false;
+
+  GuardContext* guard_ = nullptr;  ///< owning flow's guard, shared by workers
 
   std::vector<Cand> arena_;
   std::vector<std::vector<std::uint32_t>> node_cands_;
-  std::unordered_map<std::uint32_t, std::uint32_t> pi_leaf_cand_;
+  std::vector<std::uint32_t> pi_leaf_cand_;
   std::vector<std::uint32_t> gate_cand_;
   std::vector<std::uint32_t> gate_cand2_;  ///< second pulldown (complex gates)
   std::vector<std::uint32_t> gate_leaf_cand_;
@@ -596,7 +762,14 @@ class MapperImpl {
   std::vector<std::uint32_t> input_signal_;
   std::vector<std::uint32_t> fanout_;
 
+  std::vector<Scratch> scratch_;             // per worker
+  std::vector<std::vector<Cand>> worker_out_;  // per worker, per level
+  std::vector<NodeDecision> decision_;       // per node
+  std::size_t candidates_examined_ = 0;
+  int dp_levels_ = 0;
+
   DominoNetlist netlist_;
+  MappingResult result_;
   std::vector<std::uint32_t> gate_signal_;
   int mismatches_ = 0;
 };
@@ -622,6 +795,10 @@ void validate(const MapperOptions& options) {
       format("MapperOptions.clock_weight = %g is invalid "
              "(need finite 0 < clock_weight <= 1000)",
              options.clock_weight));
+  SOIDOM_REQUIRE(options.num_threads >= 0 && options.num_threads <= 256,
+                 format("MapperOptions.num_threads = %d is invalid "
+                        "(need 0 <= num_threads <= 256; 0 = auto)",
+                        options.num_threads));
 }
 
 MappingResult map_to_domino(const UnateResult& unate,
@@ -648,6 +825,11 @@ std::vector<TupleInfo> TupleOracle::tuples_of(NodeId node) const {
 
 std::int64_t TupleOracle::gate_cost_of(NodeId node) const {
   return impl_->mapper.gate_cost_of(node);
+}
+
+MappingResult TupleOracle::map() const {
+  StageScope stage(FlowStage::kMap);
+  return impl_->mapper.run();
 }
 
 }  // namespace soidom

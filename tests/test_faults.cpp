@@ -166,6 +166,44 @@ TEST(Guarded, TupleBudgetTripsInMapper) {
   EXPECT_TRUE(outcome.partial.unate.has_value());
 }
 
+/// The tuple budget holds under the wavefront-parallel mapper: concurrent
+/// workers charge one shared atomic counter, so a ceiling the sequential
+/// path would trip also trips with N threads, and a generous ceiling that
+/// accounts for retained-arena growth does not.
+TEST(Guarded, TupleBudgetTripsUnderParallelMapping) {
+  const Network net = testing::random_network(8, 60, 4, 0x7EA9);
+  FlowOptions fopts;
+  fopts.verify_rounds = 0;
+  fopts.mapper.num_threads = 4;
+  GuardOptions gopts;
+  gopts.on_infeasible_limits = FallbackAction::kFail;
+  gopts.budget.max_tuples = 50;  // raw + retained charges blow past this
+  const FlowOutcome tripped = run_flow_guarded(net, fopts, gopts);
+  ASSERT_TRUE(tripped.diagnostic.has_value());
+  EXPECT_EQ(tripped.diagnostic->code, ErrorCode::kBudgetExceeded);
+  EXPECT_EQ(tripped.diagnostic->stage, FlowStage::kMap);
+
+  gopts.budget.max_tuples = 1u << 22;
+  const FlowOutcome fine = run_flow_guarded(net, fopts, gopts);
+  EXPECT_TRUE(fine.ok()) << summarize(fine);
+}
+
+/// Budget accounting includes the retained arena (not just transient raw
+/// candidates): the total charged is at least the retained-candidate count
+/// the mapper reports.
+TEST(Guarded, TupleChargesCoverRetainedArena) {
+  const UnateResult unate = make_unate(testing::full_adder_network());
+  const MappingResult reference = map_to_domino(unate, MapperOptions{});
+
+  GuardContext guard(Deadline::never(), CancelToken{}, ResourceBudget{});
+  {
+    GuardScope scope(guard);
+    (void)map_to_domino(unate, MapperOptions{});
+  }
+  EXPECT_GE(guard.used(Resource::kTuples), reference.candidates_retained);
+  EXPECT_GE(guard.used(Resource::kTuples), reference.candidates_examined);
+}
+
 TEST(Guarded, NetworkNodeBudgetTripsInUnate) {
   GuardOptions gopts;
   gopts.budget.max_network_nodes = 1;

@@ -1,0 +1,217 @@
+/// Wavefront-parallel mapper determinism: the mapped netlist, its
+/// serialization and every predicted cost must be bit-identical for every
+/// thread count, on every engine and objective.  Also covers the
+/// determinism satellite fixes: permuted-fanin BLIF invariance, the
+/// second_goes_bottom tie-break, and TupleOracle::map() re-entry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "soidom/benchgen/generators.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/blif/blif.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/domino/serialize.hpp"
+#include "soidom/domino/stats.hpp"
+#include "soidom/mapper/mapper.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace soidom {
+namespace {
+
+struct Snapshot {
+  std::string dnl;
+  std::int64_t predicted_cost = 0;
+  std::size_t candidates_retained = 0;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+Snapshot map_with_threads(const UnateResult& unate, MapperOptions opts,
+                          int threads) {
+  opts.num_threads = threads;
+  const MappingResult r = map_to_domino(unate, opts);
+  return {write_dnl(r.netlist), r.predicted_cost, r.candidates_retained};
+}
+
+/// 1-thread vs N-thread mapping is bit-identical: same serialized netlist,
+/// same DP-predicted cost, same arena size.
+TEST(MapperParallel, ThreadCountInvarianceOnPaperCircuits) {
+  for (const char* name : {"apex7", "cordic", "c880", "frg1"}) {
+    const UnateResult unate = make_unate(build_benchmark(name));
+    const Snapshot seq = map_with_threads(unate, MapperOptions{}, 1);
+    for (const int threads : {2, 4, 7}) {
+      EXPECT_EQ(seq, map_with_threads(unate, MapperOptions{}, threads))
+          << name << " with " << threads << " threads";
+    }
+  }
+}
+
+/// Same invariance through the full production flow (decompose + unate +
+/// map) on a generated benchmark network.
+TEST(MapperParallel, ThreadCountInvarianceOnBenchgenNetwork) {
+  const Network net = gen_spn(24, 4, 0xBEEF);
+  for (const int threads : {2, 4}) {
+    FlowOptions a;
+    a.mapper.num_threads = 1;
+    a.verify_rounds = 0;
+    FlowOptions b = a;
+    b.mapper.num_threads = threads;
+    const FlowResult ra = run_flow(net, a);
+    const FlowResult rb = run_flow(net, b);
+    EXPECT_EQ(write_dnl(ra.netlist), write_dnl(rb.netlist));
+    EXPECT_EQ(compute_stats(ra.netlist).t_total,
+              compute_stats(rb.netlist).t_total);
+  }
+}
+
+/// Every engine / objective / feature combination stays thread-invariant,
+/// including complex gates (oversize split fodder) and the non-exhaustive
+/// placement-heuristic ablation that exercises second_goes_bottom.
+TEST(MapperParallel, ThreadCountInvarianceAcrossOptionCombinations) {
+  const UnateResult unate = make_unate(build_benchmark("c8"));
+  std::vector<MapperOptions> combos;
+  {
+    MapperOptions o;
+    o.engine = MappingEngine::kDominoMap;
+    combos.push_back(o);
+  }
+  {
+    MapperOptions o;
+    o.objective = CostObjective::kDepth;
+    combos.push_back(o);
+  }
+  {
+    MapperOptions o;
+    o.enable_complex_gates = true;
+    combos.push_back(o);
+  }
+  {
+    MapperOptions o;
+    o.exhaustive_ordering = false;
+    combos.push_back(o);
+  }
+  {
+    MapperOptions o;
+    o.clock_weight = 2.0;
+    o.gate_at_fanout = false;
+    o.max_width = 3;
+    o.max_height = 4;
+    combos.push_back(o);
+  }
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const Snapshot seq = map_with_threads(unate, combos[i], 1);
+    EXPECT_EQ(seq, map_with_threads(unate, combos[i], 4))
+        << "option combo " << i;
+  }
+}
+
+/// num_threads = 0 resolves to hardware concurrency and still matches the
+/// sequential result.
+TEST(MapperParallel, AutoThreadCountMatchesSequential) {
+  const UnateResult unate = make_unate(build_benchmark("z4ml"));
+  EXPECT_EQ(map_with_threads(unate, MapperOptions{}, 1),
+            map_with_threads(unate, MapperOptions{}, 0));
+}
+
+// --- permuted-fanin determinism -------------------------------------------
+
+Snapshot map_blif(const std::string& text, bool exhaustive) {
+  FlowOptions opts;
+  opts.verify_rounds = 0;
+  opts.mapper.exhaustive_ordering = exhaustive;
+  const FlowResult r = run_flow(parse_blif(text), opts);
+  return {write_dnl(r.netlist), compute_stats(r.netlist).t_total, 0};
+}
+
+/// Permuting the fanin columns of a .names cover must not change the
+/// realized netlist: the builder canonicalizes commutative fanins and the
+/// mapper's operand-placement tie-breaks no longer depend on textual
+/// order.
+TEST(MapperParallel, PermutedFaninBlifRealizesIdenticalNetlists) {
+  const std::string base =
+      ".model perm\n"
+      ".inputs a b c d e\n"
+      ".outputs y z\n"
+      ".names a b t1\n11 1\n"
+      ".names c d t2\n11 1\n"
+      ".names t1 t2 y\n10 1\n01 1\n11 1\n"
+      ".names t1 e z\n11 1\n"
+      ".end\n";
+  const std::string permuted =
+      ".model perm\n"
+      ".inputs a b c d e\n"
+      ".outputs y z\n"
+      ".names b a t1\n11 1\n"        // fanin columns swapped
+      ".names d c t2\n11 1\n"
+      ".names t1 t2 y\n10 1\n01 1\n11 1\n"
+      ".names e t1 z\n11 1\n"        // fanin columns swapped
+      ".end\n";
+  for (const bool exhaustive : {true, false}) {
+    EXPECT_EQ(map_blif(base, exhaustive), map_blif(permuted, exhaustive))
+        << "exhaustive_ordering=" << exhaustive;
+  }
+}
+
+/// The second_goes_bottom p_total tie is broken by candidate content (and
+/// only then by arena index), not fanin textual order: under the
+/// non-exhaustive heuristic, mapping is a pure function of the network.
+TEST(MapperParallel, HeuristicPlacementIsDeterministic) {
+  const Network net = testing::random_network(8, 40, 4, 0xC0FFEE);
+  FlowOptions opts;
+  opts.verify_rounds = 0;
+  opts.mapper.exhaustive_ordering = false;
+  const FlowResult a = run_flow(net, opts);
+  const FlowResult b = run_flow(net, opts);
+  EXPECT_EQ(write_dnl(a.netlist), write_dnl(b.netlist));
+}
+
+// --- TupleOracle::map re-entry --------------------------------------------
+
+/// map() is memoized: the second call returns the identical (non-empty)
+/// result instead of a silently empty netlist, and the DP introspection
+/// (tuples_of / gate_cost_of) keeps working after realization.
+TEST(MapperParallel, OracleMapIsMemoizedAndReentrant) {
+  const UnateResult unate = make_unate(testing::full_adder_network());
+  const TupleOracle oracle(unate, MapperOptions{});
+  const MappingResult first = oracle.map();
+  ASSERT_FALSE(first.netlist.gates().empty());
+  const MappingResult second = oracle.map();
+  EXPECT_EQ(write_dnl(first.netlist), write_dnl(second.netlist));
+  EXPECT_EQ(first.predicted_cost, second.predicted_cost);
+  EXPECT_EQ(first.candidates_retained, second.candidates_retained);
+
+  // tuples_of after map(): same tuples an un-realized oracle reports.
+  const TupleOracle fresh(unate, MapperOptions{});
+  for (std::uint32_t i = 2; i < unate.net.size(); ++i) {
+    const NodeId id{i};
+    if (unate.net.kind(id) != NodeKind::kAnd &&
+        unate.net.kind(id) != NodeKind::kOr) {
+      continue;
+    }
+    const auto after = oracle.tuples_of(id);
+    const auto before = fresh.tuples_of(id);
+    ASSERT_EQ(after.size(), before.size());
+    for (std::size_t k = 0; k < after.size(); ++k) {
+      EXPECT_EQ(after[k].width, before[k].width);
+      EXPECT_EQ(after[k].height, before[k].height);
+      EXPECT_EQ(after[k].committed, before[k].committed);
+    }
+  }
+}
+
+/// The DP effort counters are populated and consistent.
+TEST(MapperParallel, EffortCountersPopulated) {
+  const UnateResult unate = make_unate(build_benchmark("z4ml"));
+  const MappingResult r = map_to_domino(unate, MapperOptions{});
+  EXPECT_GT(r.candidates_examined, 0u);
+  EXPECT_GT(r.candidates_retained, 0u);
+  EXPECT_GT(r.dp_levels, 0);
+  EXPECT_LE(r.candidates_retained, r.candidates_examined +
+                                       unate.net.size() /* leaves + gates */);
+}
+
+}  // namespace
+}  // namespace soidom
