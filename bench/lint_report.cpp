@@ -1,0 +1,79 @@
+/// \file lint_report.cpp
+/// CI lint sweep: map every paper-table circuit with the SOI flow, run the
+/// full lint rule catalogue over each mapped netlist, and merge the
+/// per-circuit reports into one SARIF 2.1.0 log (one run per circuit) for
+/// upload as a CI artifact.
+///
+///   build/bench/lint_report [--sarif=FILE] [--fail-on=error|warning|info]
+///
+/// Default output file: lint_report.sarif in the working directory.
+/// Exit code: 0 when every circuit is clean at the fail-on severity
+/// (default error), 1 otherwise — so the CI job both annotates findings
+/// and gates on them.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+
+using namespace soidom;
+
+int main(int argc, char** argv) {
+  std::string sarif_path = "lint_report.sarif";
+  LintSeverity fail_on = LintSeverity::kError;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sarif=", 8) == 0) {
+      sarif_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--fail-on=error") == 0) {
+      fail_on = LintSeverity::kError;
+    } else if (std::strcmp(argv[i], "--fail-on=warning") == 0) {
+      fail_on = LintSeverity::kWarning;
+    } else if (std::strcmp(argv[i], "--fail-on=info") == 0) {
+      fail_on = LintSeverity::kInfo;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sarif=FILE] [--fail-on=error|warning|info]\n",
+                   argv[0]);
+      return 64;
+    }
+  }
+
+  std::set<std::string> circuits;
+  for (const auto& list : {table1_circuits(), table2_circuits(),
+                           table3_circuits(), table4_circuits()}) {
+    circuits.insert(list.begin(), list.end());
+  }
+
+  std::string runs;
+  int dirty = 0;
+  int findings = 0;
+  for (const std::string& name : circuits) {
+    FlowOptions options;
+    options.verify_rounds = 0;
+    const FlowResult result = run_flow(build_benchmark(name), options);
+    findings += static_cast<int>(result.lint.findings.size());
+    if (!result.lint.clean(fail_on)) {
+      ++dirty;
+      std::printf("%-12s %s\n", name.c_str(), result.lint.summary().c_str());
+      std::fputs(result.lint.to_text().c_str(), stdout);
+    } else {
+      std::printf("%-12s clean (%s)\n", name.c_str(),
+                  result.lint.summary().c_str());
+    }
+    if (!runs.empty()) runs += ',';
+    runs += result.lint.to_sarif_run(name + ".circuit");
+  }
+
+  const std::string sarif =
+      R"({"$schema":)"
+      R"("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/)"
+      R"(Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[)" +
+      runs + "]}";
+  std::ofstream(sarif_path) << sarif;
+  std::printf("wrote %s (%zu circuits, %d findings, %d over threshold)\n",
+              sarif_path.c_str(), circuits.size(), findings, dirty);
+  return dirty == 0 ? 0 : 1;
+}

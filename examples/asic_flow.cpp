@@ -9,10 +9,13 @@
 ///         -> SPICE + Verilog export for downstream tooling.
 ///
 /// Build & run:   build/examples/asic_flow [--diag-json] [--threads=N]
+///                                         [--lint] [--lint-sarif=FILE]
 ///                                         [circuit.blif]
 /// Without a circuit argument a built-in 4-bit comparator BLIF is used.
 /// --threads=N sets the mapper DP thread count (0 = hardware concurrency,
 /// 1 = sequential; the result is bit-identical for every count).
+/// --lint prints the full lint report; --lint-sarif=FILE writes it as
+/// SARIF 2.1.0 for CI annotation.
 ///
 /// Exit codes (docs/ERRORS.md): 0 success, 2 parse error, 3 mapping
 /// infeasible, 4 verification mismatch, 5 deadline/budget, 64 bad
@@ -71,11 +74,17 @@ const char* kDefaultBlif = R"(
 
 int main(int argc, char** argv) {
   bool diag_json = false;
+  bool want_lint = false;
   int num_threads = 0;
+  std::string lint_sarif_path;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--diag-json") == 0) {
       diag_json = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      want_lint = true;
+    } else if (std::strncmp(argv[i], "--lint-sarif=", 13) == 0) {
+      lint_sarif_path = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = std::atoi(argv[i] + 10);
     } else {
@@ -122,6 +131,13 @@ int main(int argc, char** argv) {
     std::printf("[map]       %s\n", summarize(flow).c_str());
     std::printf("[seq-aware] pruned %d unexcitable discharge point(s)\n",
                 flow.discharges_pruned);
+    std::printf("[lint]      %s\n", flow.lint.summary().c_str());
+    if (want_lint) std::fputs(flow.lint.to_text().c_str(), stdout);
+    if (!lint_sarif_path.empty()) {
+      std::ofstream(lint_sarif_path)
+          << flow.lint.to_sarif(path.empty() ? "cmp4.blif" : path);
+      std::printf("[lint]      wrote %s\n", lint_sarif_path.c_str());
+    }
     if (outcome.diagnostic.has_value()) return report(*outcome.diagnostic);
 
     // 3. Timing + hysteresis.

@@ -20,6 +20,10 @@
 ///   --dnl=FILE               write the netlist interchange format
 ///   --timing                 print the timing / hysteresis report
 ///   --power                  print the dynamic-energy estimate
+///   --lint                   print the full lint report (all severities)
+///   --lint-sarif=FILE        write the lint report as SARIF 2.1.0
+///   --lint-fail-on=SEV      fail on lint findings >= error|warning|info
+///                            (default error)
 ///   --diag-json              print failures/warnings as JSON diagnostics
 ///
 /// Exit codes (docs/ERRORS.md): 0 success, 2 parse error, 3 mapping
@@ -49,7 +53,9 @@ namespace {
       "          [--wmax=N] [--hmax=N] [--k=F] [--threads=N] [--minimize]\n"
       "          [--seq-aware]\n"
       "          [--exact] [--dump] [--spice=FILE] [--verilog=FILE]\n"
-      "          [--timing] [--power] [--diag-json] circuit.{blif,v}\n",
+      "          [--timing] [--power] [--lint] [--lint-sarif=FILE]\n"
+      "          [--lint-fail-on=error|warning|info] [--diag-json]\n"
+      "          circuit.{blif,v}\n",
       argv0);
   std::exit(64);
 }
@@ -67,6 +73,8 @@ int main(int argc, char** argv) {
   bool want_timing = false;
   bool want_power = false;
   bool diag_json = false;
+  bool want_lint = false;
+  std::string lint_sarif_path;
   std::string spice_path;
   std::string verilog_path;
   std::string dnl_path;
@@ -110,6 +118,16 @@ int main(int argc, char** argv) {
       want_timing = true;
     } else if (arg == "--power") {
       want_power = true;
+    } else if (arg == "--lint") {
+      want_lint = true;
+    } else if (arg.rfind("--lint-sarif=", 0) == 0) {
+      lint_sarif_path = arg.substr(13);
+    } else if (arg == "--lint-fail-on=error") {
+      options.lint_fail_on = LintSeverity::kError;
+    } else if (arg == "--lint-fail-on=warning") {
+      options.lint_fail_on = LintSeverity::kWarning;
+    } else if (arg == "--lint-fail-on=info") {
+      options.lint_fail_on = LintSeverity::kInfo;
     } else if (arg == "--diag-json") {
       diag_json = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -159,6 +177,11 @@ int main(int argc, char** argv) {
                   result.discharges_pruned);
     }
     if (dump) std::fputs(result.netlist.dump().c_str(), stdout);
+    if (want_lint) std::fputs(result.lint.to_text().c_str(), stdout);
+    if (!lint_sarif_path.empty()) {
+      std::ofstream(lint_sarif_path) << result.lint.to_sarif(path);
+      std::printf("wrote %s\n", lint_sarif_path.c_str());
+    }
     if (want_timing) {
       std::fputs(analyze_timing(result.netlist).to_string().c_str(), stdout);
     }

@@ -21,6 +21,10 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// JSON string-literal escaping (quotes, backslash, control characters);
+/// returns the escaped body without surrounding quotes.
+std::string json_escape(std::string_view text);
+
 /// Format a ratio as a percentage with two decimals, e.g. "53.00".
 std::string percent(double numerator, double denominator);
 

@@ -20,6 +20,7 @@
 #include "soidom/domino/verify.hpp"
 #include "soidom/guard/diagnostic.hpp"
 #include "soidom/guard/guard.hpp"
+#include "soidom/lint/lint.hpp"
 #include "soidom/mapper/mapper.hpp"
 #include "soidom/network/network.hpp"
 #include "soidom/unate/unate.hpp"
@@ -44,6 +45,12 @@ struct FlowOptions {
   /// item): remove discharge transistors whose PBE-exciting input
   /// condition is provably unsatisfiable.  See domino/seqaware.hpp.
   bool sequence_aware = false;
+  /// Post-mapping lint stage (lint/lint.hpp): the flow always records the
+  /// full report in FlowResult::lint; findings at or above this severity
+  /// fail the flow with a kLint diagnostic.  Error findings additionally
+  /// surface through the legacy FlowResult::structure report, so the
+  /// default (kError) matches the historical verify_structure behavior.
+  LintSeverity lint_fail_on = LintSeverity::kError;
   /// Functional verification by random simulation (0 disables).
   int verify_rounds = 8;
   std::uint64_t verify_seed = 0x50D0;
@@ -56,6 +63,9 @@ struct FlowResult {
   UnateResult unate;
   DominoNetlist netlist;
   DominoStats stats;
+  /// Full structured lint report (all severities, all rules).
+  LintReport lint;
+  /// Error-severity lint findings, flattened (legacy view of `lint`).
   VerifyReport structure;
   VerifyReport function;
   /// Result of BDD equivalence when requested and tractable.

@@ -71,6 +71,7 @@ void run_stages(const Network& source, const FlowOptions& options,
         e, format("retried once with relaxed limits W<=%d H<=%d",
                   relaxed.max_width, relaxed.max_height)));
     mapped = map_to_domino(result.unate, relaxed);
+    mopts = relaxed;  // downstream stages see the effective limits
   }
   result.dp_analyzer_mismatches = mapped.dp_analyzer_mismatches;
   result.netlist = std::move(mapped.netlist);
@@ -96,10 +97,24 @@ void run_stages(const Network& source, const FlowOptions& options,
   result.stats = compute_stats(result.netlist);
   if (gopts.capture_partials) out.partial.netlist = result.netlist;
 
+  // Structural checks now run through the lint engine; the historical
+  // kVerifyStructure probe point is kept for fault-injection coverage and
+  // the error-severity findings feed the legacy `structure` report.
   enter(guard, FlowStage::kVerifyStructure);
-  result.structure =
-      verify_structure(result.netlist, mopts.grounding, mopts.pending_model,
-                       /*allow_unexcitable_unprotected=*/options.sequence_aware);
+  SOIDOM_FAULT_PROBE(FlowStage::kVerifyStructure);
+  enter(guard, FlowStage::kLint);
+  LintOptions lopts;
+  lopts.grounding = mopts.grounding;
+  lopts.pending_model = mopts.pending_model;
+  lopts.allow_unexcitable_unprotected = options.sequence_aware;
+  lopts.max_width = mopts.max_width;
+  lopts.max_height = mopts.max_height;
+  result.lint = run_lint(result.netlist, lopts, &source);
+  for (const Finding& f : result.lint.findings) {
+    if (f.severity >= LintSeverity::kError) {
+      result.structure.problems.push_back(f.to_string());
+    }
+  }
 
   if (options.verify_rounds > 0) {
     enter(guard, FlowStage::kVerifyFunction);
@@ -160,6 +175,18 @@ void run_stages(const Network& source, const FlowOptions& options,
                                 FlowStage::kVerifyStructure,
                                 result.structure.to_string(),
                                 {}};
+  } else if (!result.lint.clean(options.lint_fail_on)) {
+    // Sub-error findings only reach here when the caller tightened
+    // lint_fail_on below kError (errors fail via `structure` above).
+    Diagnostic d{ErrorCode::kVerificationFailed, FlowStage::kLint,
+                 format("lint failed at severity >= %s: %s",
+                        lint_severity_name(options.lint_fail_on),
+                        result.lint.summary().c_str()),
+                 {}};
+    for (const Finding& f : result.lint.findings) {
+      if (f.severity >= options.lint_fail_on) d.context.push_back(f.to_string());
+    }
+    out.diagnostic = std::move(d);
   } else if (!result.function.ok()) {
     out.diagnostic = Diagnostic{ErrorCode::kVerificationFailed,
                                 FlowStage::kVerifyFunction,

@@ -1,5 +1,11 @@
 /// \file verify.hpp
 /// Structural and functional verification of mapped domino netlists.
+///
+/// verify_structure is a thin compatibility shim over the lint engine
+/// (lint/lint.hpp): it runs the historical subset of the rule catalogue
+/// and flattens error-severity findings back into strings.  New code
+/// should call run_lint directly for structured findings, severities and
+/// SARIF output.  Both functions are defined in the lint module.
 #pragma once
 
 #include <string>
@@ -16,7 +22,9 @@ struct VerifyReport {
   std::string to_string() const;
 };
 
-/// Structural checks:
+/// Structural checks (the historical contract — the lint engine's
+/// topo-order / dangling-ref / empty-gate / footedness / pbe-protection
+/// rules):
 ///  * leaf signals reference only inputs or earlier gates (topological);
 ///  * footedness matches pulldown contents (footed iff some leaf is an
 ///    input literal);

@@ -8,30 +8,6 @@
 #include "soidom/base/strings.hpp"
 
 namespace soidom {
-namespace {
-
-/// Canonical junction enumeration: in-order tree walk, one entry per
-/// series junction.  Stable across serialization because it depends only
-/// on the tree structure, not on node-pool indices.
-void enumerate_junctions(const Pdn& pdn, PdnIndex i,
-                         std::vector<DischargePoint>& out) {
-  const PdnNode& n = pdn.node(i);
-  if (n.kind == PdnKind::kLeaf) return;
-  if (n.kind == PdnKind::kSeries) {
-    for (std::size_t k = 0; k + 1 < n.children.size(); ++k) {
-      out.push_back(DischargePoint{i, static_cast<std::uint32_t>(k)});
-    }
-  }
-  for (const PdnIndex c : n.children) enumerate_junctions(pdn, c, out);
-}
-
-std::vector<DischargePoint> enumerate_junctions(const Pdn& pdn) {
-  std::vector<DischargePoint> out;
-  if (!pdn.empty()) enumerate_junctions(pdn, pdn.root(), out);
-  return out;
-}
-
-}  // namespace
 
 std::string write_dnl(const DominoNetlist& netlist) {
   std::ostringstream os;
@@ -54,7 +30,7 @@ std::string write_dnl(const DominoNetlist& netlist) {
     }
     auto emit_disch = [&](const char* head, const Pdn& pdn,
                           const std::vector<DischargePoint>& discharges) {
-      const auto junctions = enumerate_junctions(pdn);
+      const auto junctions = canonical_junctions(pdn);
       for (const DischargePoint& p : discharges) {
         if (p.at_bottom()) {
           os << head << ' ' << g << " bottom\n";
@@ -256,7 +232,7 @@ DominoNetlist parse_dnl(std::string_view text) {
         const int idx =
             std::atoi(std::string(tokens[2].substr(1)).c_str());
         const auto junctions =
-            enumerate_junctions(second ? gate.pdn2 : gate.pdn);
+            canonical_junctions(second ? gate.pdn2 : gate.pdn);
         if (idx < 0 || static_cast<std::size_t>(idx) >= junctions.size()) {
           fail(line_number, "disch references an invalid junction");
         }

@@ -9,7 +9,7 @@ DominoStats compute_stats(const DominoNetlist& netlist) {
   s.num_gates = static_cast<int>(netlist.gates().size());
   for (const DominoGate& g : netlist.gates()) {
     s.t_logic += g.logic_transistors();
-    s.t_disch += static_cast<int>(g.discharges.size());
+    s.t_disch += static_cast<int>(g.discharges.size() + g.discharges2.size());
     s.t_clock += g.clock_transistors();
   }
   s.t_total = s.t_logic + s.t_disch;

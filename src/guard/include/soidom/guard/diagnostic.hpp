@@ -29,6 +29,7 @@ enum class FlowStage : std::uint8_t {
   kPostPass,         ///< discharge insertion / stack rearrangement
   kSeqAware,         ///< sequence-aware discharge pruning
   kVerifyStructure,  ///< structural netlist checks
+  kLint,             ///< rule-based static lint over the mapped netlist
   kVerifyFunction,   ///< random-simulation equivalence
   kExact,            ///< BDD exact equivalence
 };

@@ -3,31 +3,6 @@
 #include "soidom/base/strings.hpp"
 
 namespace soidom {
-namespace {
-
-/// Minimal JSON string escaping (quotes, backslash, control characters).
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 const char* flow_stage_name(FlowStage stage) {
   switch (stage) {
@@ -40,6 +15,7 @@ const char* flow_stage_name(FlowStage stage) {
     case FlowStage::kPostPass: return "postpass";
     case FlowStage::kSeqAware: return "seqaware";
     case FlowStage::kVerifyStructure: return "verify_structure";
+    case FlowStage::kLint: return "lint";
     case FlowStage::kVerifyFunction: return "verify_function";
     case FlowStage::kExact: return "exact";
   }

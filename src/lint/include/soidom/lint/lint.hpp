@@ -1,0 +1,171 @@
+/// \file lint.hpp
+/// Rule-based static analysis (DRC/ERC) of mapped domino netlists.
+///
+/// The engine runs an extensible registry of LintRules over a
+/// DominoNetlist (optionally cross-checked against the source Network)
+/// and produces structured Findings: a stable rule id, a severity, a
+/// location (gate / pulldown / junction / output), a message, and an
+/// optional fix-it hint.  Reports render as human text, JSON, or SARIF
+/// 2.1.0 for CI annotation.  docs/LINT.md is the rule catalogue.
+///
+/// The headline rule, `pbe-protection`, re-derives every PBE discharge
+/// point from the netlist alone (pdn/analyze.hpp — independent of the
+/// mapper's DP tuples) and diffs the requirement against the discharge
+/// transistors the mapper actually emitted, honouring sequence-aware
+/// unexcitability proofs when the caller allows them.
+///
+/// Layering: lint sits above domino/pdn/network and below core/flow.
+/// The historical `verify_structure` (domino/verify.hpp) is now a thin
+/// compatibility shim over this engine (defined in this module).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soidom/domino/netlist.hpp"
+#include "soidom/network/network.hpp"
+
+namespace soidom {
+
+/// Finding severities, ordered so comparisons mean "at least as severe".
+enum class LintSeverity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+/// Stable lower-case identifier: "info" / "warning" / "error".
+const char* lint_severity_name(LintSeverity severity);
+/// SARIF 2.1.0 result level: "note" / "warning" / "error".
+const char* lint_severity_sarif_level(LintSeverity severity);
+
+/// Where a finding points inside the netlist.  All indices are optional
+/// (-1 = not applicable); `detail` carries the innermost element as text
+/// (a canonical junction label like "j2" or "bottom", a signal, ...).
+struct LintLocation {
+  int gate = -1;    ///< gate index
+  int pdn = 0;      ///< 1 or 2 when the finding is inside a specific pulldown
+  int output = -1;  ///< output index
+  int input = -1;   ///< input-literal index
+  std::string detail;
+
+  /// "gate 4 (pdn2) j1" / "output 2 'sum'" / "input 3 'a.bar'" / "netlist".
+  std::string to_string(const DominoNetlist* netlist = nullptr) const;
+  /// SARIF logicalLocation fullyQualifiedName, e.g. "netlist/gate4/pdn2/j1".
+  std::string qualified_name() const;
+};
+
+/// One structured lint result.
+struct Finding {
+  std::string rule;  ///< stable rule id, e.g. "pbe-protection"
+  LintSeverity severity = LintSeverity::kError;
+  LintLocation location;
+  std::string message;
+  std::string fixit;  ///< optional suggested repair, empty when none
+
+  /// "error[pbe-protection] gate 4: ... (fix: attach a discharge at j1)".
+  std::string to_string() const;
+};
+
+/// Knobs for a lint run.  Defaults mirror the mapper's defaults; the flow
+/// passes its effective options through.
+struct LintOptions {
+  GroundingPolicy grounding = GroundingPolicy::kAllGrounded;
+  PendingModel pending_model = PendingModel::kCoherent;
+  /// Accept an unprotected PBE point when sequence-aware analysis proves
+  /// it unexcitable (netlists processed by prune_unexcitable_discharges).
+  bool allow_unexcitable_unprotected = false;
+  /// Pulldown shape ceilings the mapper was run with; 0 skips the
+  /// `shape-limits` rule.
+  int max_width = 0;
+  int max_height = 0;
+  /// Rule ids to skip (exact match).
+  std::vector<std::string> disabled_rules;
+};
+
+/// Rule metadata captured into the report (drives the SARIF rules table).
+struct LintRuleInfo {
+  std::string id;
+  std::string summary;
+  LintSeverity default_severity = LintSeverity::kError;
+};
+
+/// Outcome of a lint run.
+struct LintReport {
+  std::vector<Finding> findings;
+  /// Every rule that ran (also the SARIF tool.driver.rules table).
+  std::vector<LintRuleInfo> rules;
+
+  /// Findings at or above `at_least`.
+  int count(LintSeverity at_least) const;
+  bool clean(LintSeverity fail_on = LintSeverity::kError) const {
+    return count(fail_on) == 0;
+  }
+  /// "clean" or "2 errors, 1 warning".
+  std::string summary() const;
+
+  /// One finding per line; "lint: clean" when empty.
+  std::string to_text() const;
+  /// {"findings":[...],"summary":...}.
+  std::string to_json() const;
+  /// A complete SARIF 2.1.0 log with one run.  `artifact_uri` (optional)
+  /// attaches a physicalLocation to every result so CI annotates the
+  /// input file the netlist was mapped from.
+  std::string to_sarif(const std::string& artifact_uri = "") const;
+  /// The bare SARIF run object (for tools merging several reports into
+  /// one log; to_sarif wraps exactly one of these).
+  std::string to_sarif_run(const std::string& artifact_uri = "") const;
+};
+
+/// Everything a rule may inspect.  `sound` reports whether the foundation
+/// rules (topo-order / dangling-ref / empty-gate) found no errors; rules
+/// that index through the netlist require it (see LintRule::needs_sound).
+struct LintContext {
+  const DominoNetlist& netlist;
+  const Network* source = nullptr;
+  const LintOptions& options;
+  bool sound = true;
+};
+
+/// One check.  Implementations emit any number of findings; the engine
+/// fills in the rule id and default severity when the rule leaves them
+/// unset.
+class LintRule {
+ public:
+  virtual ~LintRule() = default;
+  virtual const char* id() const = 0;
+  virtual const char* summary() const = 0;
+  virtual LintSeverity severity() const { return LintSeverity::kError; }
+  /// Foundation rules (false) run first on any netlist; rules returning
+  /// true are skipped when a foundation rule reported an error, so they
+  /// may index gates/signals without re-validating them.
+  virtual bool needs_sound() const { return true; }
+  virtual void run(const LintContext& context,
+                   std::vector<Finding>& out) const = 0;
+};
+
+/// An ordered rule collection.  `builtin()` returns the full catalogue
+/// (docs/LINT.md); callers may append project-specific rules.
+class LintRegistry {
+ public:
+  void add(std::unique_ptr<LintRule> rule);
+  const std::vector<std::unique_ptr<LintRule>>& rules() const {
+    return rules_;
+  }
+
+  static LintRegistry builtin();
+
+ private:
+  std::vector<std::unique_ptr<LintRule>> rules_;
+};
+
+/// Run `registry` over the netlist.  Thread-compatible: concurrent calls
+/// on distinct netlists are safe.  Checkpoints the installed guard and
+/// attributes to FlowStage::kLint.
+LintReport run_lint(const LintRegistry& registry, const DominoNetlist& netlist,
+                    const LintOptions& options = {},
+                    const Network* source = nullptr);
+
+/// Convenience: run the built-in catalogue.
+LintReport run_lint(const DominoNetlist& netlist,
+                    const LintOptions& options = {},
+                    const Network* source = nullptr);
+
+}  // namespace soidom

@@ -1,0 +1,87 @@
+/// \file compat.cpp
+/// The historical verification entry points (domino/verify.hpp), now thin
+/// shims over the lint engine so every caller gets the same structured
+/// findings with consistent gate/output indices.
+#include <algorithm>
+
+#include "soidom/base/strings.hpp"
+#include "soidom/domino/verify.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
+#include "soidom/lint/lint.hpp"
+#include "soidom/sim/sim.hpp"
+
+namespace soidom {
+
+std::string VerifyReport::to_string() const {
+  if (ok()) return "OK";
+  std::string out;
+  for (const std::string& p : problems) {
+    out += p;
+    out += '\n';
+  }
+  return out;
+}
+
+VerifyReport verify_structure(const DominoNetlist& netlist,
+                              GroundingPolicy policy, PendingModel model,
+                              bool allow_unexcitable_unprotected) {
+  StageScope stage(FlowStage::kVerifyStructure);
+  SOIDOM_FAULT_PROBE(FlowStage::kVerifyStructure);
+  LintOptions options;
+  options.grounding = policy;
+  options.pending_model = model;
+  options.allow_unexcitable_unprotected = allow_unexcitable_unprotected;
+  // The historical contract covers structure and PBE protection only;
+  // the stricter provenance / accounting rules are lint-stage additions.
+  options.disabled_rules = {"input-phase", "io-contract", "overhead-count",
+                            "clock-foot"};
+  const LintReport report = run_lint(netlist, options);
+  VerifyReport out;
+  for (const Finding& f : report.findings) {
+    if (f.severity >= LintSeverity::kError) {
+      out.problems.push_back(f.to_string());
+    }
+  }
+  return out;
+}
+
+VerifyReport verify_function(const DominoNetlist& netlist,
+                             const Network& source, int rounds, Rng& rng) {
+  StageScope stage(FlowStage::kVerifyFunction);
+  SOIDOM_FAULT_PROBE(FlowStage::kVerifyFunction);
+  VerifyReport report;
+  auto problem = [&](LintLocation location, std::string message) {
+    Finding f;
+    f.rule = "functional-equiv";
+    f.severity = LintSeverity::kError;
+    f.location = std::move(location);
+    f.message = std::move(message);
+    report.problems.push_back(f.to_string());
+  };
+  if (netlist.outputs().size() != source.outputs().size()) {
+    problem(LintLocation{},
+            format("output count mismatch: netlist %zu vs source %zu",
+                   netlist.outputs().size(), source.outputs().size()));
+    return report;
+  }
+  for (int r = 0; r < rounds; ++r) {
+    guard_checkpoint();
+    const auto words = random_pi_words(source.pis().size(), rng);
+    const auto want = simulate_outputs(source, words);
+    const auto got = netlist.simulate(words);
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      if (want[j] != got[j]) {
+        LintLocation loc;
+        loc.output = static_cast<int>(j);
+        problem(std::move(loc),
+                format("functional mismatch ('%s'), round %d",
+                       source.outputs()[j].name.c_str(), r));
+        return report;  // first mismatch is enough
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace soidom

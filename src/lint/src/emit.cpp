@@ -1,0 +1,101 @@
+/// \file emit.cpp
+/// LintReport renderers: human text, JSON, SARIF 2.1.0.
+#include "soidom/base/strings.hpp"
+#include "soidom/lint/lint.hpp"
+
+namespace soidom {
+
+std::string LintReport::to_text() const {
+  if (findings.empty()) return "lint: clean\n";
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.to_string();
+    out += '\n';
+  }
+  out += format("lint: %s\n", summary().c_str());
+  return out;
+}
+
+std::string LintReport::to_json() const {
+  std::string out = "{\"summary\":\"" + json_escape(summary()) + "\",";
+  out += format("\"errors\":%d,\"warnings\":%d,\"infos\":%d,",
+                count(LintSeverity::kError),
+                count(LintSeverity::kWarning) - count(LintSeverity::kError),
+                static_cast<int>(findings.size()) -
+                    count(LintSeverity::kWarning));
+  out += "\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) out += ',';
+    out += format(R"({"rule":"%s","severity":"%s","location":"%s",)"
+                  R"("qualified":"%s","message":"%s")",
+                  json_escape(f.rule).c_str(),
+                  lint_severity_name(f.severity),
+                  json_escape(f.location.to_string()).c_str(),
+                  json_escape(f.location.qualified_name()).c_str(),
+                  json_escape(f.message).c_str());
+    if (!f.fixit.empty()) {
+      out += ",\"fixit\":\"" + json_escape(f.fixit) + "\"";
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string LintReport::to_sarif_run(const std::string& artifact_uri) const {
+  std::string out = R"({"tool":{"driver":{"name":"soidom-lint",)"
+                    R"("informationUri":"docs/LINT.md","rules":[)";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i) out += ',';
+    out += format(R"({"id":"%s","shortDescription":{"text":"%s"},)"
+                  R"("defaultConfiguration":{"level":"%s"}})",
+                  json_escape(rules[i].id).c_str(),
+                  json_escape(rules[i].summary).c_str(),
+                  lint_severity_sarif_level(rules[i].default_severity));
+  }
+  out += "]}}";
+  if (!artifact_uri.empty()) {
+    out += R"(,"artifacts":[{"location":{"uri":")" +
+           json_escape(artifact_uri) + R"("}}])";
+  }
+  out += ",\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) out += ',';
+    int rule_index = -1;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      if (rules[r].id == f.rule) {
+        rule_index = static_cast<int>(r);
+        break;
+      }
+    }
+    std::string text = f.location.to_string() + ": " + f.message;
+    if (!f.fixit.empty()) text += " (fix: " + f.fixit + ")";
+    out += format(R"({"ruleId":"%s","ruleIndex":%d,"level":"%s",)"
+                  R"("message":{"text":"%s"},"locations":[{)",
+                  json_escape(f.rule).c_str(), rule_index,
+                  lint_severity_sarif_level(f.severity),
+                  json_escape(text).c_str());
+    if (!artifact_uri.empty()) {
+      out += format(R"("physicalLocation":{"artifactLocation":{"uri":"%s",)"
+                    R"("index":0}},)",
+                    json_escape(artifact_uri).c_str());
+    }
+    out += format(R"("logicalLocations":[{"kind":"element","name":"%s",)"
+                  R"("fullyQualifiedName":"%s"}]}]})",
+                  json_escape(f.location.to_string()).c_str(),
+                  json_escape(f.location.qualified_name()).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+std::string LintReport::to_sarif(const std::string& artifact_uri) const {
+  return R"({"$schema":)"
+         R"("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/)"
+         R"(Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[)" +
+         to_sarif_run(artifact_uri) + "]}";
+}
+
+}  // namespace soidom

@@ -1,0 +1,154 @@
+#include "soidom/lint/lint.hpp"
+
+#include "soidom/base/strings.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/guard/guard.hpp"
+
+namespace soidom {
+
+const char* lint_severity_name(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kInfo: return "info";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* lint_severity_sarif_level(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kInfo: return "note";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "none";
+}
+
+std::string LintLocation::to_string(const DominoNetlist* netlist) const {
+  std::string out;
+  if (gate >= 0) {
+    out = format("gate %d", gate);
+    if (pdn == 2) out += " (pdn2)";
+    if (!detail.empty()) out += " " + detail;
+    return out;
+  }
+  if (output >= 0) {
+    out = format("output %d", output);
+    if (netlist != nullptr &&
+        static_cast<std::size_t>(output) < netlist->outputs().size()) {
+      out += format(
+          " '%s'",
+          netlist->outputs()[static_cast<std::size_t>(output)].name.c_str());
+    }
+    if (!detail.empty()) out += " " + detail;
+    return out;
+  }
+  if (input >= 0) {
+    out = format("input %d", input);
+    if (netlist != nullptr &&
+        static_cast<std::size_t>(input) < netlist->inputs().size()) {
+      out += format(
+          " '%s'",
+          netlist->inputs()[static_cast<std::size_t>(input)].name.c_str());
+    }
+    if (!detail.empty()) out += " " + detail;
+    return out;
+  }
+  return detail.empty() ? "netlist" : "netlist " + detail;
+}
+
+std::string LintLocation::qualified_name() const {
+  std::string out = "netlist";
+  if (gate >= 0) {
+    out += format("/gate%d/pdn%s", gate, pdn == 2 ? "2" : "");
+  } else if (output >= 0) {
+    out += format("/output%d", output);
+  } else if (input >= 0) {
+    out += format("/input%d", input);
+  }
+  if (!detail.empty()) out += "/" + detail;
+  return out;
+}
+
+std::string Finding::to_string() const {
+  std::string out = format("%s[%s] %s: %s", lint_severity_name(severity),
+                           rule.c_str(), location.to_string().c_str(),
+                           message.c_str());
+  if (!fixit.empty()) out += format(" (fix: %s)", fixit.c_str());
+  return out;
+}
+
+int LintReport::count(LintSeverity at_least) const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity >= at_least) ++n;
+  }
+  return n;
+}
+
+std::string LintReport::summary() const {
+  if (findings.empty()) return "clean";
+  const int errors = count(LintSeverity::kError);
+  const int warnings = count(LintSeverity::kWarning) - errors;
+  const int infos = static_cast<int>(findings.size()) - errors - warnings;
+  std::string out;
+  auto append = [&](int n, const char* what) {
+    if (n == 0) return;
+    if (!out.empty()) out += ", ";
+    out += format("%d %s%s", n, what, n == 1 ? "" : "s");
+  };
+  append(errors, "error");
+  append(warnings, "warning");
+  append(infos, "info");
+  return out;
+}
+
+void LintRegistry::add(std::unique_ptr<LintRule> rule) {
+  SOIDOM_ASSERT(rule != nullptr);
+  rules_.push_back(std::move(rule));
+}
+
+LintReport run_lint(const LintRegistry& registry, const DominoNetlist& netlist,
+                    const LintOptions& options, const Network* source) {
+  StageScope stage(FlowStage::kLint);
+  SOIDOM_FAULT_PROBE(FlowStage::kLint);
+  LintReport report;
+  LintContext context{netlist, source, options, true};
+  const auto disabled = [&](const char* id) {
+    for (const std::string& d : options.disabled_rules) {
+      if (d == id) return true;
+    }
+    return false;
+  };
+  // Foundation rules (needs_sound() == false) run first; dependent rules
+  // run only when no foundation rule reported an error, so they may index
+  // gates / signals / junctions without re-validating them.
+  for (const int pass : {0, 1}) {
+    for (const auto& rule : registry.rules()) {
+      if (rule->needs_sound() != (pass == 1)) continue;
+      if (disabled(rule->id())) continue;
+      report.rules.push_back(
+          LintRuleInfo{rule->id(), rule->summary(), rule->severity()});
+      if (pass == 1 && !context.sound) continue;
+      guard_checkpoint();
+      std::vector<Finding> found;
+      rule->run(context, found);
+      for (Finding& f : found) {
+        if (f.rule.empty()) f.rule = rule->id();
+        report.findings.push_back(std::move(f));
+      }
+    }
+    if (pass == 0) {
+      context.sound = report.count(LintSeverity::kError) == 0;
+    }
+  }
+  return report;
+}
+
+LintReport run_lint(const DominoNetlist& netlist, const LintOptions& options,
+                    const Network* source) {
+  static const LintRegistry registry = LintRegistry::builtin();
+  return run_lint(registry, netlist, options, source);
+}
+
+}  // namespace soidom

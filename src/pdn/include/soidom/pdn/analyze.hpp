@@ -79,4 +79,15 @@ bool fully_protected(const Pdn& pdn, bool bottom_grounded,
 /// Diagnostic rendering, e.g. "junction(s=3,p=0)" / "bottom".
 std::string to_string(const DischargePoint& point);
 
+/// All series junctions of `pdn` in canonical (in-order tree walk) order.
+/// The position in this list is a junction's *canonical index*: it depends
+/// only on the tree structure, never on node-pool numbering, so it is
+/// stable across serialization round trips.  The .dnl format ("jN") and
+/// the lint engine's finding labels both use it.
+std::vector<DischargePoint> canonical_junctions(const Pdn& pdn);
+
+/// Pool-independent label for a point: "bottom", "jN" (canonical index),
+/// or the raw to_string() form when the point is not a junction of `pdn`.
+std::string canonical_point_label(const Pdn& pdn, const DischargePoint& point);
+
 }  // namespace soidom

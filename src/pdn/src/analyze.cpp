@@ -137,4 +137,34 @@ std::string to_string(const DischargePoint& point) {
   return format("junction(s=%u,p=%u)", point.series_node, point.pos);
 }
 
+namespace {
+
+void collect_junctions(const Pdn& pdn, PdnIndex i,
+                       std::vector<DischargePoint>& out) {
+  const PdnNode& n = pdn.node(i);
+  if (n.kind == PdnKind::kLeaf) return;
+  if (n.kind == PdnKind::kSeries) {
+    for (std::size_t k = 0; k + 1 < n.children.size(); ++k) {
+      out.push_back(DischargePoint{i, static_cast<std::uint32_t>(k)});
+    }
+  }
+  for (const PdnIndex c : n.children) collect_junctions(pdn, c, out);
+}
+
+}  // namespace
+
+std::vector<DischargePoint> canonical_junctions(const Pdn& pdn) {
+  std::vector<DischargePoint> out;
+  if (!pdn.empty()) collect_junctions(pdn, pdn.root(), out);
+  return out;
+}
+
+std::string canonical_point_label(const Pdn& pdn, const DischargePoint& point) {
+  if (point.at_bottom()) return "bottom";
+  const auto junctions = canonical_junctions(pdn);
+  const auto it = std::find(junctions.begin(), junctions.end(), point);
+  if (it == junctions.end()) return to_string(point);  // not a real junction
+  return format("j%d", static_cast<int>(it - junctions.begin()));
+}
+
 }  // namespace soidom

@@ -77,6 +77,7 @@ INSTANTIATE_TEST_SUITE_P(
         FaultCase{FlowStage::kSeqAware, false, FlowVariant::kSoiDominoMap,
                   /*sequence_aware=*/true},
         FaultCase{FlowStage::kVerifyStructure, false},
+        FaultCase{FlowStage::kLint, false},
         FaultCase{FlowStage::kVerifyFunction, false},
         FaultCase{FlowStage::kExact, false, FlowVariant::kSoiDominoMap,
                   false, /*exact=*/true}),

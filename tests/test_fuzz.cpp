@@ -2,8 +2,10 @@
 
 #include <string>
 
+#include "helpers.hpp"
 #include "soidom/base/contracts.hpp"
 #include "soidom/base/rng.hpp"
+#include "soidom/benchgen/registry.hpp"
 #include "soidom/blif/blif.hpp"
 #include "soidom/core/flow.hpp"
 #include "soidom/verilog/parser.hpp"
@@ -127,6 +129,46 @@ TEST(Fuzz, FlowNeverCrashes) {
     if (outcome.ok()) ++mapped;
   }
   EXPECT_GT(mapped, 0);  // the fuzz must reach the mapper, not just parse
+}
+
+TEST(Fuzz, LintIsACleanOracleOnBenchgenCircuits) {
+  // The lint engine as a fuzz oracle: every registered benchmark circuit,
+  // mapped sequentially and wavefront-parallel, must produce a netlist the
+  // full rule catalogue accepts at error severity — an independent
+  // re-derivation of the mapper's structural and PBE obligations.
+  for (const std::string& name : benchmark_names()) {
+    const Network source = build_benchmark(name);
+    for (const int threads : {1, 0}) {
+      FlowOptions options;
+      options.verify_rounds = 0;
+      options.mapper.num_threads = threads;
+      const FlowResult result = run_flow(source, options);
+      EXPECT_TRUE(result.lint.clean(LintSeverity::kError))
+          << name << " threads=" << threads << "\n" << result.lint.to_text();
+    }
+  }
+}
+
+TEST(Fuzz, LintIsACleanOracleOnRandomNetworks) {
+  // Same oracle over seeded random DAGs: shapes the curated benchmarks
+  // never produce (heavy reconvergence, inverter chains) must also map to
+  // lint-clean netlists, with shape limits cross-checked against the
+  // mapper's W/H knobs.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Network source = testing::random_network(
+        5 + static_cast<int>(seed % 4), 30, 3, 0xFA11 + seed);
+    FlowOptions options;
+    options.verify_rounds = 0;
+    options.mapper.num_threads = seed % 2 == 0 ? 1 : 0;
+    const FlowResult result = run_flow(source, options);
+    LintOptions lopts;
+    lopts.grounding = options.mapper.grounding;
+    lopts.max_width = options.mapper.max_width;
+    lopts.max_height = options.mapper.max_height;
+    const LintReport report = run_lint(result.netlist, lopts, &source);
+    EXPECT_TRUE(report.clean(LintSeverity::kError))
+        << "seed=" << seed << "\n" << report.to_text();
+  }
 }
 
 TEST(Fuzz, DeepNestingDoesNotOverflow) {

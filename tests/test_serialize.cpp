@@ -1,15 +1,32 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "helpers.hpp"
 #include "soidom/benchgen/registry.hpp"
 #include "soidom/core/flow.hpp"
 #include "soidom/domino/serialize.hpp"
 #include "soidom/domino/stats.hpp"
 #include "soidom/domino/verify.hpp"
+#include "soidom/lint/lint.hpp"
+#include "soidom/pdn/analyze.hpp"
 #include "soidom/sim/sim.hpp"
 
 namespace soidom {
 namespace {
+
+/// Pool-independent view of a gate's discharge set: the canonical labels
+/// ("bottom" / "jN") the .dnl format and the lint engine both use.
+std::vector<std::string> canonical_discharge_labels(const DominoGate& gate) {
+  std::vector<std::string> labels;
+  for (const DischargePoint& p : gate.discharges) {
+    labels.push_back(canonical_point_label(gate.pdn, p));
+  }
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
 
 void expect_same_netlist(const DominoNetlist& a, const DominoNetlist& b) {
   ASSERT_EQ(a.num_inputs(), b.num_inputs());
@@ -23,7 +40,11 @@ void expect_same_netlist(const DominoNetlist& a, const DominoNetlist& b) {
   for (std::size_t g = 0; g < a.gates().size(); ++g) {
     EXPECT_EQ(a.gates()[g].footed, b.gates()[g].footed);
     EXPECT_TRUE(structurally_equal(a.gates()[g].pdn, b.gates()[g].pdn)) << g;
-    EXPECT_EQ(a.gates()[g].discharges.size(), b.gates()[g].discharges.size());
+    // Discharge POINTS must survive, not just the transistor count: node
+    // pool indices may be renumbered, so compare canonical labels.
+    EXPECT_EQ(canonical_discharge_labels(a.gates()[g]),
+              canonical_discharge_labels(b.gates()[g]))
+        << "gate " << g;
   }
   for (std::size_t j = 0; j < a.outputs().size(); ++j) {
     EXPECT_EQ(a.outputs()[j].name, b.outputs()[j].name);
@@ -53,6 +74,10 @@ TEST_P(DnlRoundTrip, MappedNetlistSurvives) {
   EXPECT_EQ(sa.t_total, sb.t_total);
   EXPECT_EQ(sa.t_clock, sb.t_clock);
   EXPECT_EQ(sa.levels, sb.levels);
+
+  // Lint findings are identical across the round trip: every rule sees
+  // the same structure, discharge points and canonical labels.
+  EXPECT_EQ(run_lint(flow.netlist).to_text(), run_lint(reparsed).to_text());
 }
 
 INSTANTIATE_TEST_SUITE_P(Sample, DnlRoundTrip,
@@ -78,6 +103,16 @@ TEST(Dnl, PreservesDischargesAndConstants) {
   ASSERT_EQ(reparsed.gates()[0].discharges.size(), 2u);
   EXPECT_TRUE(reparsed.gates()[0].discharges[0].at_bottom());
   EXPECT_EQ(reparsed.outputs()[1].constant, 1);
+
+  // This netlist carries deliberate lint findings (at least the bottom
+  // discharge on a grounded pulldown); the report — including canonical
+  // point labels in the messages — must be byte-identical after the
+  // round trip.
+  const LintReport before = run_lint(nl);
+  const LintReport after = run_lint(reparsed);
+  EXPECT_FALSE(before.clean(LintSeverity::kInfo));
+  EXPECT_EQ(before.to_text(), after.to_text());
+  EXPECT_EQ(before.to_sarif(), after.to_sarif());
 }
 
 TEST(Dnl, Errors) {
