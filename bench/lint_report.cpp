@@ -12,10 +12,10 @@
 /// and gates on them.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <set>
 #include <string>
 
+#include "soidom/base/fileio.hpp"
 #include "soidom/benchgen/registry.hpp"
 #include "soidom/core/flow.hpp"
 
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
       R"("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/)"
       R"(Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[)" +
       runs + "]}";
-  std::ofstream(sarif_path) << sarif;
+  write_file_atomic(sarif_path, sarif);
   std::printf("wrote %s (%zu circuits, %d findings, %d over threshold)\n",
               sarif_path.c_str(), circuits.size(), findings, dirty);
   return dirty == 0 ? 0 : 1;

@@ -13,19 +13,39 @@
 ///                                         [circuit.blif]
 /// Without a circuit argument a built-in 4-bit comparator BLIF is used.
 /// --threads=N sets the mapper DP thread count (0 = hardware concurrency,
-/// 1 = sequential; the result is bit-identical for every count).
+/// 1 = sequential; the result is bit-identical for every thread count).
 /// --lint prints the full lint report; --lint-sarif=FILE writes it as
 /// SARIF 2.1.0 for CI annotation.
 ///
+/// Batch mode (src/batch; see docs/BATCH.md):
+///   --batch[=a,b,c]   run the asic flow over the named benchmark
+///                     circuits (bare --batch: every paper-table circuit)
+///                     with watchdog + retry ladder + run journal
+///   --resume          skip jobs already terminal in the journal
+///   --journal=FILE    JSONL journal (default asic_flow.jsonl)
+///   --manifest=FILE   merged manifest (default asic_flow.manifest.json)
+///   --timeout-ms=N    per-attempt watchdog   --attempts=N  retry budget
+///   --isolate         fork each attempt into a subprocess
+///
+/// All artifact files are written atomically (write-temp-fsync-rename),
+/// so a crash or SIGKILL never leaves a truncated .sp/.v/SARIF on disk.
+/// SIGINT/SIGTERM cancel the in-flight work cooperatively and exit with
+/// 128+signum (130/143).
+///
 /// Exit codes (docs/ERRORS.md): 0 success, 2 parse error, 3 mapping
 /// infeasible, 4 verification mismatch, 5 deadline/budget, 64 bad
-/// options, 1 internal error.
+/// options, 1 internal error; batch mode adds 6 (aborted), 7 (jobs
+/// failed/quarantined), 130/143 (signal).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
+#include <vector>
 
+#include "soidom/base/fileio.hpp"
+#include "soidom/batch/runner.hpp"
+#include "soidom/batch/signals.hpp"
+#include "soidom/benchgen/registry.hpp"
 #include "soidom/core/flow.hpp"
 #include "soidom/domino/export.hpp"
 #include "soidom/sizing/sizing.hpp"
@@ -70,12 +90,84 @@ const char* kDefaultBlif = R"(
 .end
 )";
 
+std::vector<std::string> split_names(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > begin) out.push_back(list.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+/// The batch counterpart of the single-circuit flow below: same flow
+/// options, many circuits, resilient outer loop.
+int run_batch_mode(const std::vector<std::string>& circuits,
+                   BatchOptions options) {
+  std::vector<BatchJob> jobs;
+  if (circuits.empty()) {
+    for (const auto& list : {table1_circuits(), table2_circuits(),
+                             table3_circuits(), table4_circuits()}) {
+      for (const std::string& name : list) {
+        bool seen = false;
+        for (const BatchJob& j : jobs) seen = seen || j.name == name;
+        if (!seen) jobs.push_back(BatchJob{name, ""});
+      }
+    }
+  } else {
+    for (const std::string& name : circuits) jobs.push_back(BatchJob{name, ""});
+  }
+
+  BatchHooks hooks;
+  hooks.on_job_done = [](const JobOutcome& out) {
+    const JobRecord& r = out.record;
+    std::printf("[batch]     %-12s %-11s attempts=%d ladder=%s %s\n",
+                r.job.c_str(), job_status_name(r.status), r.attempts,
+                r.ladder.c_str(),
+                r.status == JobStatus::kOk ? r.summary.c_str()
+                                           : r.message.c_str());
+    std::fflush(stdout);
+  };
+
+  BatchResult result;
+  try {
+    result = run_batch(jobs, options, hooks);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 64;
+  }
+  std::printf("[batch]     %zu jobs  ok=%d failed=%d quarantined=%d "
+              "resumed=%d\n",
+              result.jobs.size(), result.ok, result.failed,
+              result.quarantined, result.resumed);
+  if (result.interrupted_by_signal != 0) {
+    std::fprintf(stderr, "[batch]     interrupted by signal %d; rerun with "
+                         "--resume\n",
+                 result.interrupted_by_signal);
+    return signal_exit_code(result.interrupted_by_signal);
+  }
+  if (result.aborted.has_value()) {
+    std::fprintf(stderr, "[batch]     aborted: %s\n",
+                 result.aborted->to_string().c_str());
+    return 6;
+  }
+  return (result.failed == 0 && result.quarantined == 0) ? 0 : 7;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool diag_json = false;
   bool want_lint = false;
   int num_threads = 0;
+  bool batch_mode = false;
+  std::vector<std::string> batch_circuits;
+  BatchOptions batch;
+  batch.journal_path = "asic_flow.jsonl";
+  batch.manifest_path = "asic_flow.manifest.json";
   std::string lint_sarif_path;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -87,9 +179,38 @@ int main(int argc, char** argv) {
       lint_sarif_path = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch_mode = true;
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      batch_mode = true;
+      batch_circuits = split_names(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      batch.resume = true;
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      batch.journal_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--manifest=", 11) == 0) {
+      batch.manifest_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      batch.job_timeout_ms = std::atoll(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--attempts=", 11) == 0) {
+      batch.retry.max_attempts = std::atoi(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      batch.max_parallel = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--isolate") == 0) {
+      batch.isolate = true;
     } else {
       path = argv[i];
     }
+  }
+
+  install_signal_cancel();
+
+  if (batch_mode) {
+    batch.flow.variant = FlowVariant::kSoiDominoMap;
+    batch.flow.sequence_aware = true;
+    batch.flow.exact_equivalence = true;
+    batch.flow.mapper.num_threads = num_threads;
+    return run_batch_mode(batch_circuits, batch);
   }
 
   auto report = [&](const Diagnostic& d) {
@@ -97,6 +218,9 @@ int main(int argc, char** argv) {
       std::printf("%s\n", d.to_json().c_str());
     } else {
       std::fprintf(stderr, "error: %s\n", d.to_string().c_str());
+    }
+    if (d.code == ErrorCode::kCancelled && signal_received() != 0) {
+      return signal_exit_code(signal_received());
     }
     return cli_exit_code(d);
   };
@@ -122,7 +246,9 @@ int main(int argc, char** argv) {
     options.sequence_aware = true;
     options.exact_equivalence = true;
     options.mapper.num_threads = num_threads;
-    const FlowOutcome outcome = run_flow_guarded(model, options);
+    GuardOptions gopts;
+    gopts.cancel = signal_cancel_token();
+    const FlowOutcome outcome = run_flow_guarded(model, options, gopts);
     for (const Diagnostic& warning : outcome.warnings) {
       std::fprintf(stderr, "warning: %s\n", warning.to_string().c_str());
     }
@@ -134,8 +260,8 @@ int main(int argc, char** argv) {
     std::printf("[lint]      %s\n", flow.lint.summary().c_str());
     if (want_lint) std::fputs(flow.lint.to_text().c_str(), stdout);
     if (!lint_sarif_path.empty()) {
-      std::ofstream(lint_sarif_path)
-          << flow.lint.to_sarif(path.empty() ? "cmp4.blif" : path);
+      write_file_atomic(lint_sarif_path,
+                        flow.lint.to_sarif(path.empty() ? "cmp4.blif" : path));
       std::printf("[lint]      wrote %s\n", lint_sarif_path.c_str());
     }
     if (outcome.diagnostic.has_value()) return report(*outcome.diagnostic);
@@ -151,7 +277,7 @@ int main(int argc, char** argv) {
                 sizing.speedup(), sizing.total_width_before,
                 sizing.total_width_after);
 
-    // 5. Export.
+    // 5. Export (atomic: a crash never leaves a truncated deck).
     SpiceSizing spice_sizing;
     for (const GateSizing& gs : sizing.gates) {
       spice_sizing.pulldown_widths.push_back(gs.pulldown_widths);
@@ -162,8 +288,8 @@ int main(int argc, char** argv) {
     const std::string verilog = export_verilog(flow.netlist, model.name);
     const std::string sp_path = model.name + ".sp";
     const std::string v_path = model.name + ".v";
-    std::ofstream(sp_path) << deck;
-    std::ofstream(v_path) << verilog;
+    write_file_atomic(sp_path, deck);
+    write_file_atomic(v_path, verilog);
     std::printf("[export]    wrote %s (%zu bytes) and %s (%zu bytes)\n",
                 sp_path.c_str(), deck.size(), v_path.c_str(), verilog.size());
     return 0;

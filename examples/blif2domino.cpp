@@ -26,15 +26,21 @@
 ///                            (default error)
 ///   --diag-json              print failures/warnings as JSON diagnostics
 ///
+/// Output files (--spice/--verilog/--dnl/--lint-sarif) are written
+/// atomically: write to a temp file, fsync, rename.  A crash mid-write
+/// never leaves a truncated artifact.  SIGINT/SIGTERM cancel the flow
+/// cooperatively and exit with 128+signum (130/143).
+///
 /// Exit codes (docs/ERRORS.md): 0 success, 2 parse error, 3 mapping
 /// infeasible, 4 verification mismatch, 5 deadline/budget, 64 bad usage
-/// or options, 1 internal error.
+/// or options, 1 internal error, 130/143 interrupted by signal.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 
+#include "soidom/base/fileio.hpp"
+#include "soidom/batch/signals.hpp"
 #include "soidom/core/flow.hpp"
 #include "soidom/domino/export.hpp"
 #include "soidom/domino/serialize.hpp"
@@ -140,16 +146,27 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) usage(argv[0]);
 
+  install_signal_cancel();
+  GuardOptions gopts;
+  gopts.cancel = signal_cancel_token();
+
+  auto exit_code_for = [](const Diagnostic& d) {
+    if (d.code == ErrorCode::kCancelled && signal_received() != 0) {
+      return signal_exit_code(signal_received());
+    }
+    return cli_exit_code(d);
+  };
+
   FlowOutcome outcome;
   if (ends_with(path, ".v") || ends_with(path, ".sv")) {
     try {
-      outcome = run_flow_guarded(parse_verilog_file(path), options);
+      outcome = run_flow_guarded(parse_verilog_file(path), options, gopts);
     } catch (const Error& e) {
       outcome.diagnostic =
           Diagnostic{ErrorCode::kParseError, FlowStage::kParse, e.what(), {}};
     }
   } else {
-    outcome = run_flow_guarded_file(path, options);
+    outcome = run_flow_guarded_file(path, options, gopts);
   }
 
   for (const Diagnostic& warning : outcome.warnings) {
@@ -166,7 +183,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "error: %s\n", d.to_string().c_str());
     }
-    return cli_exit_code(d);
+    return exit_code_for(d);
   }
 
   try {
@@ -179,7 +196,7 @@ int main(int argc, char** argv) {
     if (dump) std::fputs(result.netlist.dump().c_str(), stdout);
     if (want_lint) std::fputs(result.lint.to_text().c_str(), stdout);
     if (!lint_sarif_path.empty()) {
-      std::ofstream(lint_sarif_path) << result.lint.to_sarif(path);
+      write_file_atomic(lint_sarif_path, result.lint.to_sarif(path));
       std::printf("wrote %s\n", lint_sarif_path.c_str());
     }
     if (want_timing) {
@@ -191,11 +208,11 @@ int main(int argc, char** argv) {
                   p.clock_energy, p.logic_energy, p.input_energy, p.total());
     }
     if (!spice_path.empty()) {
-      std::ofstream(spice_path) << export_spice(result.netlist, path);
+      write_file_atomic(spice_path, export_spice(result.netlist, path));
       std::printf("wrote %s\n", spice_path.c_str());
     }
     if (!verilog_path.empty()) {
-      std::ofstream(verilog_path) << export_verilog(result.netlist, "mapped");
+      write_file_atomic(verilog_path, export_verilog(result.netlist, "mapped"));
       std::printf("wrote %s\n", verilog_path.c_str());
     }
     if (!dnl_path.empty()) {
@@ -211,7 +228,7 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "error: %s\n", d.to_string().c_str());
       }
-      return cli_exit_code(d);
+      return exit_code_for(d);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,53 @@
+/// \file fileio.hpp
+/// Crash-safe file output shared by every artifact emitter.
+///
+/// Two primitives cover the library's durability needs:
+///
+///  * write_file_atomic — write-temp, fsync, rename.  A reader (or a
+///    process resuming after a crash) sees either the complete previous
+///    content or the complete new content, never a truncated artifact.
+///    All finished artifacts (.dnl, SARIF, SPICE, Verilog, batch
+///    manifests) go through this.
+///  * AppendFile — an append-only log with whole-line writes and an
+///    fsync per line, used for the batch run journal (JSONL).  After a
+///    kill, at most the final line is torn; readers must tolerate (and
+///    ignore) one trailing partial line.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace soidom {
+
+/// Atomically replace `path` with `content`: write to a sibling
+/// temporary, fsync it, then rename over `path`.  Throws soidom::Error
+/// (and removes the temporary) on any failure.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Read the whole file; throws soidom::Error when it cannot be opened.
+std::string read_file(const std::string& path);
+
+/// Append-only log file with durable whole-line appends.
+class AppendFile {
+ public:
+  /// Opens (creating if needed) `path` for appending; throws on failure.
+  /// `durable` controls the per-append fsync (on for journals; tests
+  /// that churn thousands of lines may turn it off).
+  explicit AppendFile(const std::string& path, bool durable = true);
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Write `line` plus a trailing '\n' in one write(2) call, then fsync
+  /// when durable.  Throws soidom::Error on a short or failed write.
+  void append_line(std::string_view line);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool durable_ = true;
+};
+
+}  // namespace soidom

@@ -25,6 +25,11 @@ std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 /// returns the escaped body without surrounding quotes.
 std::string json_escape(std::string_view text);
 
+/// Inverse of json_escape for the escapes it emits (\" \\ \n \r \t
+/// \uXXXX); unknown escapes pass through verbatim.  Used by the batch
+/// journal loader to round-trip its own JSONL records.
+std::string json_unescape(std::string_view text);
+
 /// Format a ratio as a percentage with two decimals, e.g. "53.00".
 std::string percent(double numerator, double denominator);
 

@@ -1,0 +1,113 @@
+#include "soidom/base/fileio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+namespace {
+
+/// Write the whole buffer, retrying on EINTR / short writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+/// Best-effort: some filesystems reject O_DIRECTORY fsync; the file data
+/// is already synced, so a failure here only risks losing the *rename*
+/// after a power cut, never exposing a torn file.
+void sync_parent_dir(const std::string& path) {
+  const int dfd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;
+  (void)::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = format("%s.tmp.%d", path.c_str(), ::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw Error(format("cannot create temporary '%s': %s", tmp.c_str(),
+                       std::strerror(errno)));
+  }
+  const bool wrote = write_all(fd, content.data(), content.size());
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw Error(format("cannot write '%s': %s", tmp.c_str(),
+                       std::strerror(saved)));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw Error(format("cannot rename '%s' to '%s': %s", tmp.c_str(),
+                       path.c_str(), std::strerror(saved)));
+  }
+  sync_parent_dir(path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error(format("cannot open '%s'", path.c_str()));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+AppendFile::AppendFile(const std::string& path, bool durable)
+    : path_(path), durable_(durable) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw Error(format("cannot open journal '%s': %s", path.c_str(),
+                       std::strerror(errno)));
+  }
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendFile::append_line(std::string_view line) {
+  std::string buffer;
+  buffer.reserve(line.size() + 1);
+  buffer.append(line);
+  buffer.push_back('\n');
+  if (!write_all(fd_, buffer.data(), buffer.size())) {
+    throw Error(format("append to '%s' failed: %s", path_.c_str(),
+                       std::strerror(errno)));
+  }
+  if (durable_ && ::fsync(fd_) != 0) {
+    throw Error(format("fsync of '%s' failed: %s", path_.c_str(),
+                       std::strerror(errno)));
+  }
+}
+
+}  // namespace soidom

@@ -69,6 +69,51 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+std::string json_unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out += text[i];
+      continue;
+    }
+    const char esc = text[++i];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 < text.size()) {
+          unsigned value = 0;
+          bool valid = true;
+          for (int k = 1; k <= 4; ++k) {
+            const char c = text[i + static_cast<std::size_t>(k)];
+            value <<= 4;
+            if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+            else valid = false;
+          }
+          if (valid && value < 0x80) {  // json_escape only emits ASCII
+            out += static_cast<char>(value);
+            i += 4;
+            break;
+          }
+        }
+        out += "\\u";  // malformed: keep verbatim
+        break;
+      }
+      default:
+        out += '\\';
+        out += esc;
+    }
+  }
+  return out;
+}
+
 std::string percent(double numerator, double denominator) {
   if (denominator == 0.0) return "0.00";
   return format("%.2f", 100.0 * numerator / denominator);

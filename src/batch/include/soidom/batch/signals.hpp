@@ -1,0 +1,37 @@
+/// \file signals.hpp
+/// Graceful SIGINT / SIGTERM handling shared by the batch runner and the
+/// example CLIs.
+///
+/// install_signal_cancel() registers handlers that do two async-signal-
+/// safe things: remember which signal arrived and trip a process-wide
+/// CancelToken.  Code that wires signal_cancel_token() into its
+/// GuardOptions then unwinds cooperatively at the next guard checkpoint;
+/// the batch runner additionally stops scheduling new jobs and flushes
+/// its journal before exiting.
+///
+/// The conventional exit code is 128 + signal number (130 for SIGINT,
+/// 143 for SIGTERM); see docs/ERRORS.md.  A second SIGINT restores the
+/// default disposition, so a stuck run can still be killed the usual way.
+#pragma once
+
+#include "soidom/guard/guard.hpp"
+
+namespace soidom {
+
+/// Idempotently install SIGINT/SIGTERM handlers.
+void install_signal_cancel();
+
+/// The token the handlers trip; copy it into GuardOptions::cancel (all
+/// copies share one flag).
+CancelToken signal_cancel_token();
+
+/// Signal number received so far, or 0.
+int signal_received();
+
+/// 128 + signum (130 SIGINT, 143 SIGTERM); 1 for signum == 0.
+int signal_exit_code(int signum);
+
+/// Testing hook: clear the received-signal state and re-arm handlers.
+void reset_signal_state_for_testing();
+
+}  // namespace soidom

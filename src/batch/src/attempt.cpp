@@ -1,0 +1,79 @@
+#include <exception>
+
+#include "internal.hpp"
+#include "soidom/base/strings.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/guard/fault.hpp"
+
+namespace soidom {
+namespace batch_detail {
+
+std::uint64_t mix_seed(std::uint64_t seed, const std::string& job,
+                       int attempt) {
+  // FNV-1a over the job name, then splitmix64-style finalization with
+  // the caller seed and attempt folded in.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : job) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::uint64_t z = h ^ seed ^ (static_cast<std::uint64_t>(attempt) *
+                                0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+AttemptOutcome execute_attempt_inprocess(const BatchJob& job,
+                                         const FlowOptions& effective,
+                                         const GuardOptions& gopts,
+                                         const BatchFaultPlan& fault,
+                                         int attempt,
+                                         const BatchHooks& hooks) {
+  AttemptOutcome out;
+  try {
+    if (hooks.on_attempt_start) hooks.on_attempt_start(job, attempt);
+
+    std::optional<FaultInjector> injector;
+    std::optional<FaultScope> fault_scope;
+    if (fault.denom != 0) {
+      injector = FaultInjector::random(mix_seed(fault.seed, job.name, attempt),
+                                       fault.numer, fault.denom);
+      fault_scope.emplace(*injector);
+    }
+
+    FlowOutcome flow;
+    if (job.blif_path.empty()) {
+      flow = run_flow_guarded(build_benchmark(job.name), effective, gopts);
+    } else {
+      flow = run_flow_guarded_file(job.blif_path, effective, gopts);
+    }
+
+    out.ok = flow.ok();
+    out.diagnostic = flow.diagnostic;
+    if (flow.result.has_value() && out.ok) {
+      out.summary = summarize(*flow.result);
+      out.lint_errors = flow.result->lint.count(LintSeverity::kError);
+      out.lint_warnings =
+          flow.result->lint.count(LintSeverity::kWarning) - out.lint_errors;
+    }
+  } catch (const GuardError& e) {
+    out.ok = false;
+    out.diagnostic = e.to_diagnostic();
+  } catch (const Error& e) {
+    // build_benchmark (unknown name) and other recoverable throws.
+    out.ok = false;
+    out.diagnostic =
+        Diagnostic{ErrorCode::kParseError, FlowStage::kParse, e.what(), {}};
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.diagnostic = Diagnostic{
+        ErrorCode::kInternal, FlowStage::kNone,
+        format("unexpected exception in batch attempt: %s", e.what()),
+        {}};
+  }
+  return out;
+}
+
+}  // namespace batch_detail
+}  // namespace soidom

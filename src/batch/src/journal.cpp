@@ -1,0 +1,189 @@
+#include "soidom/batch/journal.hpp"
+
+#include <fstream>
+
+#include "soidom/base/fileio.hpp"
+#include "soidom/base/strings.hpp"
+#include "soidom/guard/fault.hpp"
+
+namespace soidom {
+namespace {
+
+/// Extract the string value of `"key":"..."` from one JSONL record we
+/// wrote ourselves (keys are never escaped, values via json_escape).
+/// Returns false when the key is absent.
+bool find_string_field(std::string_view line, std::string_view key,
+                       std::string* out) {
+  const std::string needle = format("\"%.*s\":\"", int(key.size()), key.data());
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + needle.size();
+  std::string raw;
+  while (i < line.size()) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      raw += line[i];
+      raw += line[i + 1];
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"') {
+      *out = json_unescape(raw);
+      return true;
+    }
+    raw += line[i++];
+  }
+  return false;  // unterminated string: torn line
+}
+
+bool find_int_field(std::string_view line, std::string_view key, int* out) {
+  const std::string needle = format("\"%.*s\":", int(key.size()), key.data());
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + needle.size();
+  bool negative = false;
+  if (i < line.size() && line[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  long value = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    value = value * 10 + (line[i] - '0');
+    ++i;
+  }
+  *out = static_cast<int>(negative ? -value : value);
+  return true;
+}
+
+bool parse_status(const std::string& text, JobStatus* out) {
+  if (text == "ok") *out = JobStatus::kOk;
+  else if (text == "failed") *out = JobStatus::kFailed;
+  else if (text == "quarantined") *out = JobStatus::kQuarantined;
+  else return false;
+  return true;
+}
+
+/// The deterministic fields of one "done" record / manifest entry.
+std::string job_fields_json(const JobRecord& r) {
+  return format(
+      R"("job":"%s","status":"%s","attempts":%d,"ladder":"%s",)"
+      R"("code":"%s","stage":"%s","message":"%s","summary":"%s",)"
+      R"("lint_errors":%d,"lint_warnings":%d)",
+      json_escape(r.job).c_str(), job_status_name(r.status), r.attempts,
+      json_escape(r.ladder).c_str(), json_escape(r.code).c_str(),
+      json_escape(r.stage).c_str(), json_escape(r.message).c_str(),
+      json_escape(r.summary).c_str(), r.lint_errors, r.lint_warnings);
+}
+
+}  // namespace
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+struct RunJournal::Impl {
+  explicit Impl(const std::string& path, bool durable)
+      : file(path, durable) {}
+  AppendFile file;
+};
+
+RunJournal::RunJournal(const std::string& path, bool durable)
+    : impl_(std::make_unique<Impl>(path, durable)) {}
+
+RunJournal::~RunJournal() = default;
+
+const std::string& RunJournal::path() const { return impl_->file.path(); }
+
+void RunJournal::append_header(std::size_t num_jobs, bool isolate,
+                               int max_attempts) {
+  SOIDOM_FAULT_PROBE(FlowStage::kBatchJournal);
+  impl_->file.append_line(
+      format(R"({"type":"batch","jobs":%zu,"isolate":%d,"max_attempts":%d})",
+             num_jobs, isolate ? 1 : 0, max_attempts));
+}
+
+void RunJournal::append_attempt(const std::string& job,
+                                const AttemptRecord& a) {
+  SOIDOM_FAULT_PROBE(FlowStage::kBatchJournal);
+  std::string line = format(
+      R"({"type":"attempt","job":"%s","attempt":%d,"ladder":"%s","ok":%d)",
+      json_escape(job).c_str(), a.attempt, json_escape(a.ladder).c_str(),
+      a.ok ? 1 : 0);
+  if (a.diagnostic.has_value()) {
+    line += format(R"(,"code":"%s","stage":"%s","message":"%s")",
+                   error_code_name(a.diagnostic->code),
+                   flow_stage_name(a.diagnostic->stage),
+                   json_escape(a.diagnostic->message).c_str());
+  }
+  line += format(R"(,"ms":%.3f})", a.ms);
+  impl_->file.append_line(line);
+}
+
+void RunJournal::append_done(const JobRecord& record) {
+  SOIDOM_FAULT_PROBE(FlowStage::kBatchJournal);
+  impl_->file.append_line(format(R"({"type":"done",%s,"ms":%.3f})",
+                                 job_fields_json(record).c_str(), record.ms));
+}
+
+std::map<std::string, JobRecord> load_journal(const std::string& path) {
+  std::map<std::string, JobRecord> records;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return records;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string type;
+    if (!find_string_field(line, "type", &type) || type != "done") continue;
+    JobRecord r;
+    std::string status;
+    if (!find_string_field(line, "job", &r.job) || r.job.empty()) continue;
+    if (!find_string_field(line, "status", &status) ||
+        !parse_status(status, &r.status)) {
+      continue;
+    }
+    find_int_field(line, "attempts", &r.attempts);
+    find_string_field(line, "ladder", &r.ladder);
+    find_string_field(line, "code", &r.code);
+    find_string_field(line, "stage", &r.stage);
+    find_string_field(line, "message", &r.message);
+    find_string_field(line, "summary", &r.summary);
+    find_int_field(line, "lint_errors", &r.lint_errors);
+    find_int_field(line, "lint_warnings", &r.lint_warnings);
+    records[r.job] = r;  // last record per job wins
+  }
+  return records;
+}
+
+std::string manifest_json(const std::map<std::string, JobRecord>& records) {
+  int ok = 0;
+  int failed = 0;
+  int quarantined = 0;
+  std::string jobs;
+  for (const auto& [name, r] : records) {  // std::map: sorted by job key
+    switch (r.status) {
+      case JobStatus::kOk: ++ok; break;
+      case JobStatus::kFailed: ++failed; break;
+      case JobStatus::kQuarantined: ++quarantined; break;
+    }
+    if (!jobs.empty()) jobs += ",\n  ";
+    jobs += "{" + job_fields_json(r) + "}";
+  }
+  const std::string body =
+      jobs.empty() ? "[]" : format("[\n  %s\n]", jobs.c_str());
+  return format(
+      "{\"schema\":\"soidom-batch-manifest-1\",\"total\":%zu,"
+      "\"ok\":%d,\"failed\":%d,\"quarantined\":%d,\"jobs\":%s}\n",
+      records.size(), ok, failed, quarantined, body.c_str());
+}
+
+void write_manifest(const std::map<std::string, JobRecord>& records,
+                    const std::string& path) {
+  SOIDOM_FAULT_PROBE(FlowStage::kBatchJournal);
+  write_file_atomic(path, manifest_json(records));
+}
+
+}  // namespace soidom

@@ -1,0 +1,47 @@
+#include "soidom/batch/signals.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace soidom {
+namespace {
+
+std::atomic<int> g_signal{0};
+
+/// One process-wide token, created before handlers are installed so the
+/// handler only performs an atomic store (no allocation, no locking).
+CancelToken& global_token() {
+  static CancelToken token;
+  return token;
+}
+
+void on_signal(int signum) {
+  g_signal.store(signum, std::memory_order_relaxed);
+  global_token().request_cancel();
+  // A repeat delivery of the same signal falls through to the default
+  // disposition: the user can always force-kill a wedged run.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_signal_cancel() {
+  (void)global_token();  // construct before any signal can arrive
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+CancelToken signal_cancel_token() { return global_token(); }
+
+int signal_received() { return g_signal.load(std::memory_order_relaxed); }
+
+int signal_exit_code(int signum) { return signum > 0 ? 128 + signum : 1; }
+
+void reset_signal_state_for_testing() {
+  g_signal.store(0, std::memory_order_relaxed);
+  global_token() = CancelToken();  // fresh flag for the next test
+  install_signal_cancel();
+}
+
+}  // namespace soidom

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "soidom/base/contracts.hpp"
+#include "soidom/base/fileio.hpp"
 #include "soidom/base/strings.hpp"
 
 namespace soidom {
@@ -266,9 +267,8 @@ DominoNetlist parse_dnl(std::string_view text) {
 }
 
 void write_dnl_file(const DominoNetlist& netlist, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error(format("cannot write '%s'", path.c_str()));
-  out << write_dnl(netlist);
+  // Atomic (temp + fsync + rename): readers never observe a torn file.
+  write_file_atomic(path, write_dnl(netlist));
 }
 
 DominoNetlist parse_dnl_file(const std::string& path) {

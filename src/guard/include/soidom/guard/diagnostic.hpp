@@ -32,11 +32,17 @@ enum class FlowStage : std::uint8_t {
   kLint,             ///< rule-based static lint over the mapped netlist
   kVerifyFunction,   ///< random-simulation equivalence
   kExact,            ///< BDD exact equivalence
+  // Batch-runner stages (batch/runner.hpp); they carry fault-injection
+  // probes like the pipeline stages but attribute failures of the
+  // orchestration layer, not of any one circuit's flow.
+  kBatchJournal,     ///< run-journal append / manifest write
+  kBatchSpawn,       ///< forking an isolated job subprocess
+  kBatchWatchdog,    ///< per-job wall-clock watchdog firing
 };
 
 /// Number of FlowStage values (for tables indexed by stage).
 inline constexpr std::size_t kFlowStageCount =
-    static_cast<std::size_t>(FlowStage::kExact) + 1;
+    static_cast<std::size_t>(FlowStage::kBatchWatchdog) + 1;
 
 /// Stable lower-case identifier, e.g. "verify_function".
 const char* flow_stage_name(FlowStage stage);

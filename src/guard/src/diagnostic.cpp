@@ -18,6 +18,9 @@ const char* flow_stage_name(FlowStage stage) {
     case FlowStage::kLint: return "lint";
     case FlowStage::kVerifyFunction: return "verify_function";
     case FlowStage::kExact: return "exact";
+    case FlowStage::kBatchJournal: return "batch_journal";
+    case FlowStage::kBatchSpawn: return "batch_spawn";
+    case FlowStage::kBatchWatchdog: return "batch_watchdog";
   }
   return "unknown";
 }

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "helpers.hpp"
+#include "soidom/batch/runner.hpp"
 #include "soidom/core/flow.hpp"
 #include "soidom/guard/fault.hpp"
 
@@ -81,10 +82,12 @@ INSTANTIATE_TEST_SUITE_P(
         FaultCase{FlowStage::kVerifyFunction, false},
         FaultCase{FlowStage::kExact, false, FlowVariant::kSoiDominoMap,
                   false, /*exact=*/true}),
-    [](const auto& info) {
-      std::string name = flow_stage_name(info.param.stage);
-      if (info.param.variant == FlowVariant::kDominoMap) name += "_domino";
-      if (info.param.variant == FlowVariant::kRsMap) name += "_rs";
+    [](const auto& param_info) {
+      std::string name = flow_stage_name(param_info.param.stage);
+      if (param_info.param.variant == FlowVariant::kDominoMap) {
+        name += "_domino";
+      }
+      if (param_info.param.variant == FlowVariant::kRsMap) name += "_rs";
       return name;
     });
 
@@ -408,6 +411,79 @@ TEST(Diagnostic, CliExitCodes) {
   EXPECT_EQ(code_for(ErrorCode::kBudgetExceeded), 5);
   EXPECT_EQ(code_for(ErrorCode::kInvalidOptions), 64);
   EXPECT_EQ(code_for(ErrorCode::kInternal), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-stage probes (src/batch): a journal-write fault aborts the batch
+// with correct attribution; spawn/watchdog faults are crash-class attempt
+// failures the retry ladder absorbs.  All with max_parallel = 1 so the
+// pool runs inline on this thread, where the FaultScope is installed.
+
+namespace {
+BatchOptions inline_batch_options() {
+  BatchOptions options;
+  options.flow.verify_rounds = 2;
+  options.max_parallel = 1;
+  options.retry.backoff_base_ms = 0;
+  return options;
+}
+}  // namespace
+
+TEST(BatchFault, JournalWriteFaultAbortsBatchWithAttribution) {
+  BatchOptions options = inline_batch_options();
+  options.journal_path = ::testing::TempDir() + "/soidom_bf_journal.jsonl";
+  FaultInjector injector = FaultInjector::fail_at(FlowStage::kBatchJournal);
+  FaultScope scope(injector);
+  const BatchResult result = run_batch({BatchJob{"z4ml", ""}}, options);
+  ASSERT_TRUE(result.aborted.has_value());
+  EXPECT_EQ(result.aborted->code, ErrorCode::kFaultInjected);
+  EXPECT_EQ(result.aborted->stage, FlowStage::kBatchJournal);
+  EXPECT_FALSE(result.jobs[0].terminal);
+  EXPECT_EQ(injector.hits(FlowStage::kBatchJournal), 1);
+}
+
+TEST(BatchFault, WatchdogFaultIsRetriedToSuccess) {
+  BatchOptions options = inline_batch_options();
+  options.retry.max_attempts = 2;
+  FaultInjector injector = FaultInjector::fail_at(FlowStage::kBatchWatchdog);
+  FaultScope scope(injector);
+  const BatchResult result = run_batch({BatchJob{"z4ml", ""}}, options);
+  EXPECT_EQ(result.ok, 1);
+  ASSERT_EQ(result.jobs[0].attempts.size(), 2u);
+  ASSERT_TRUE(result.jobs[0].attempts[0].diagnostic.has_value());
+  EXPECT_EQ(result.jobs[0].attempts[0].diagnostic->code,
+            ErrorCode::kFaultInjected);
+  EXPECT_EQ(result.jobs[0].attempts[0].diagnostic->stage,
+            FlowStage::kBatchWatchdog);
+  EXPECT_TRUE(result.jobs[0].attempts[1].ok);
+}
+
+TEST(BatchFault, SpawnFaultIsRetriedToSuccessInIsolateMode) {
+  BatchOptions options = inline_batch_options();
+  options.isolate = true;
+  options.retry.max_attempts = 2;
+  FaultInjector injector = FaultInjector::fail_at(FlowStage::kBatchSpawn);
+  FaultScope scope(injector);
+  const BatchResult result = run_batch({BatchJob{"z4ml", ""}}, options);
+  EXPECT_EQ(result.ok, 1);
+  EXPECT_EQ(result.jobs[0].record.attempts, 2);
+  ASSERT_TRUE(result.jobs[0].attempts[0].diagnostic.has_value());
+  EXPECT_EQ(result.jobs[0].attempts[0].diagnostic->stage,
+            FlowStage::kBatchSpawn);
+}
+
+TEST(BatchFault, ExhaustedInjectedFaultsQuarantine) {
+  BatchOptions options = inline_batch_options();
+  options.retry.max_attempts = 2;
+  // numer == denom: every probe fires, so every attempt fails and the
+  // job must end quarantined (crash class) after the budget.
+  FaultInjector always = FaultInjector::random(1, 1, 1);
+  FaultScope scope(always);
+  const BatchResult result = run_batch({BatchJob{"z4ml", ""}}, options);
+  EXPECT_EQ(result.quarantined, 1);
+  EXPECT_EQ(result.jobs[0].record.status, JobStatus::kQuarantined);
+  EXPECT_EQ(result.jobs[0].record.attempts, 2);
+  EXPECT_EQ(result.jobs[0].record.code, "fault_injected");
 }
 
 TEST(Guarded, ParseErrorFromFileEntryPoint) {
