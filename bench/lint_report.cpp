@@ -4,9 +4,14 @@
 /// per-circuit reports into one SARIF 2.1.0 log (one run per circuit) for
 /// upload as a CI artifact.
 ///
-///   build/bench/lint_report [--sarif=FILE] [--fail-on=error|warning|info]
+///   build/bench/lint_report [--sarif=FILE] [--csa-sarif=FILE]
+///                           [--fail-on=error|warning|info]
 ///
 /// Default output file: lint_report.sarif in the working directory.
+/// --csa-sarif=FILE additionally runs the static charge-sharing / PBE
+/// analyzer (docs/CSA.md) on every mapped circuit and writes its merged
+/// findings as a second SARIF log (the CSA findings annotate but do not
+/// gate; the exit code reflects only the lint findings).
 /// Exit code: 0 when every circuit is clean at the fail-on severity
 /// (default error), 1 otherwise — so the CI job both annotates findings
 /// and gates on them.
@@ -23,10 +28,13 @@ using namespace soidom;
 
 int main(int argc, char** argv) {
   std::string sarif_path = "lint_report.sarif";
+  std::string csa_sarif_path;
   LintSeverity fail_on = LintSeverity::kError;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sarif=", 8) == 0) {
       sarif_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--csa-sarif=", 12) == 0) {
+      csa_sarif_path = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--fail-on=error") == 0) {
       fail_on = LintSeverity::kError;
     } else if (std::strcmp(argv[i], "--fail-on=warning") == 0) {
@@ -35,7 +43,8 @@ int main(int argc, char** argv) {
       fail_on = LintSeverity::kInfo;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--sarif=FILE] [--fail-on=error|warning|info]\n",
+                   "usage: %s [--sarif=FILE] [--csa-sarif=FILE] "
+                   "[--fail-on=error|warning|info]\n",
                    argv[0]);
       return 64;
     }
@@ -48,11 +57,14 @@ int main(int argc, char** argv) {
   }
 
   std::string runs;
+  std::string csa_runs;
   int dirty = 0;
   int findings = 0;
+  int csa_findings = 0;
   for (const std::string& name : circuits) {
     FlowOptions options;
     options.verify_rounds = 0;
+    options.csa = !csa_sarif_path.empty();
     const FlowResult result = run_flow(build_benchmark(name), options);
     findings += static_cast<int>(result.lint.findings.size());
     if (!result.lint.clean(fail_on)) {
@@ -65,15 +77,27 @@ int main(int argc, char** argv) {
     }
     if (!runs.empty()) runs += ',';
     runs += result.lint.to_sarif_run(name + ".circuit");
+    if (result.csa.has_value()) {
+      csa_findings += static_cast<int>(result.csa->lint.findings.size());
+      std::printf("%-12s csa %s max_droop=%.3f\n", name.c_str(),
+                  result.csa->lint.summary().c_str(),
+                  result.csa->report.max_droop);
+      if (!csa_runs.empty()) csa_runs += ',';
+      csa_runs += result.csa->lint.to_sarif_run(name + ".circuit");
+    }
   }
 
-  const std::string sarif =
+  const char* kSarifHeader =
       R"({"$schema":)"
       R"("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/)"
-      R"(Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[)" +
-      runs + "]}";
-  write_file_atomic(sarif_path, sarif);
+      R"(Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[)";
+  write_file_atomic(sarif_path, kSarifHeader + runs + "]}");
   std::printf("wrote %s (%zu circuits, %d findings, %d over threshold)\n",
               sarif_path.c_str(), circuits.size(), findings, dirty);
+  if (!csa_sarif_path.empty()) {
+    write_file_atomic(csa_sarif_path, kSarifHeader + csa_runs + "]}");
+    std::printf("wrote %s (%zu circuits, %d csa findings)\n",
+                csa_sarif_path.c_str(), circuits.size(), csa_findings);
+  }
   return dirty == 0 ? 0 : 1;
 }

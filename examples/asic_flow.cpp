@@ -10,12 +10,16 @@
 ///
 /// Build & run:   build/examples/asic_flow [--diag-json] [--threads=N]
 ///                                         [--lint] [--lint-sarif=FILE]
-///                                         [circuit.blif]
+///                                         [--csa] [--csa-sarif=FILE]
+///                                         [--csa-margin=X] [circuit.blif]
 /// Without a circuit argument a built-in 4-bit comparator BLIF is used.
 /// --threads=N sets the mapper DP thread count (0 = hardware concurrency,
 /// 1 = sequential; the result is bit-identical for every thread count).
 /// --lint prints the full lint report; --lint-sarif=FILE writes it as
-/// SARIF 2.1.0 for CI annotation.
+/// SARIF 2.1.0 for CI annotation.  --csa runs the static charge-sharing /
+/// PBE-safety analyzer (docs/CSA.md); --csa-sarif=FILE writes its
+/// findings as SARIF 2.1.0 and --csa-margin=X sets the droop noise
+/// margin as a fraction of VDD (default 0.25).
 ///
 /// Batch mode (src/batch; see docs/BATCH.md):
 ///   --batch[=a,b,c]   run the asic flow over the named benchmark
@@ -162,6 +166,8 @@ int run_batch_mode(const std::vector<std::string>& circuits,
 int main(int argc, char** argv) {
   bool diag_json = false;
   bool want_lint = false;
+  bool want_csa = false;
+  double csa_margin = -1.0;
   int num_threads = 0;
   bool batch_mode = false;
   std::vector<std::string> batch_circuits;
@@ -169,6 +175,7 @@ int main(int argc, char** argv) {
   batch.journal_path = "asic_flow.jsonl";
   batch.manifest_path = "asic_flow.manifest.json";
   std::string lint_sarif_path;
+  std::string csa_sarif_path;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--diag-json") == 0) {
@@ -177,6 +184,14 @@ int main(int argc, char** argv) {
       want_lint = true;
     } else if (std::strncmp(argv[i], "--lint-sarif=", 13) == 0) {
       lint_sarif_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--csa") == 0) {
+      want_csa = true;
+    } else if (std::strncmp(argv[i], "--csa-sarif=", 12) == 0) {
+      want_csa = true;
+      csa_sarif_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--csa-margin=", 13) == 0) {
+      want_csa = true;
+      csa_margin = std::atof(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--batch") == 0) {
@@ -210,6 +225,8 @@ int main(int argc, char** argv) {
     batch.flow.sequence_aware = true;
     batch.flow.exact_equivalence = true;
     batch.flow.mapper.num_threads = num_threads;
+    batch.flow.csa = want_csa;
+    if (csa_margin >= 0.0) batch.flow.csa_options.margin = csa_margin;
     return run_batch_mode(batch_circuits, batch);
   }
 
@@ -246,6 +263,8 @@ int main(int argc, char** argv) {
     options.sequence_aware = true;
     options.exact_equivalence = true;
     options.mapper.num_threads = num_threads;
+    options.csa = want_csa;
+    if (csa_margin >= 0.0) options.csa_options.margin = csa_margin;
     GuardOptions gopts;
     gopts.cancel = signal_cancel_token();
     const FlowOutcome outcome = run_flow_guarded(model, options, gopts);
@@ -263,6 +282,20 @@ int main(int argc, char** argv) {
       write_file_atomic(lint_sarif_path,
                         flow.lint.to_sarif(path.empty() ? "cmp4.blif" : path));
       std::printf("[lint]      wrote %s\n", lint_sarif_path.c_str());
+    }
+    if (flow.csa.has_value()) {
+      const CsaReport& csa = flow.csa->report;
+      std::printf("[csa]       %s  max_droop=%.3f over_margin=%d "
+                  "overpowered=%d truncated=%d\n",
+                  flow.csa->lint.summary().c_str(), csa.max_droop,
+                  csa.gates_over_margin, csa.gates_keeper_overpowered,
+                  csa.gates_truncated);
+      if (!csa_sarif_path.empty()) {
+        write_file_atomic(
+            csa_sarif_path,
+            flow.csa->lint.to_sarif(path.empty() ? "cmp4.blif" : path));
+        std::printf("[csa]       wrote %s\n", csa_sarif_path.c_str());
+      }
     }
     if (outcome.diagnostic.has_value()) return report(*outcome.diagnostic);
 

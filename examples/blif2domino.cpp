@@ -24,6 +24,11 @@
 ///   --lint-sarif=FILE        write the lint report as SARIF 2.1.0
 ///   --lint-fail-on=SEV      fail on lint findings >= error|warning|info
 ///                            (default error)
+///   --csa                    run the static charge-sharing / PBE-safety
+///                            analyzer and print its per-gate droop report
+///   --csa-sarif=FILE         write the CSA findings as SARIF 2.1.0
+///   --csa-margin=X           droop noise margin as a fraction of VDD
+///                            (default 0.25)
 ///   --diag-json              print failures/warnings as JSON diagnostics
 ///
 /// Output files (--spice/--verilog/--dnl/--lint-sarif) are written
@@ -60,7 +65,8 @@ namespace {
       "          [--seq-aware]\n"
       "          [--exact] [--dump] [--spice=FILE] [--verilog=FILE]\n"
       "          [--timing] [--power] [--lint] [--lint-sarif=FILE]\n"
-      "          [--lint-fail-on=error|warning|info] [--diag-json]\n"
+      "          [--lint-fail-on=error|warning|info]\n"
+      "          [--csa] [--csa-sarif=FILE] [--csa-margin=X] [--diag-json]\n"
       "          circuit.{blif,v}\n",
       argv0);
   std::exit(64);
@@ -81,6 +87,7 @@ int main(int argc, char** argv) {
   bool diag_json = false;
   bool want_lint = false;
   std::string lint_sarif_path;
+  std::string csa_sarif_path;
   std::string spice_path;
   std::string verilog_path;
   std::string dnl_path;
@@ -134,6 +141,14 @@ int main(int argc, char** argv) {
       options.lint_fail_on = LintSeverity::kWarning;
     } else if (arg == "--lint-fail-on=info") {
       options.lint_fail_on = LintSeverity::kInfo;
+    } else if (arg == "--csa") {
+      options.csa = true;
+    } else if (arg.rfind("--csa-sarif=", 0) == 0) {
+      options.csa = true;
+      csa_sarif_path = arg.substr(12);
+    } else if (arg.rfind("--csa-margin=", 0) == 0) {
+      options.csa = true;
+      options.csa_options.margin = std::atof(arg.c_str() + 13);
     } else if (arg == "--diag-json") {
       diag_json = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -198,6 +213,15 @@ int main(int argc, char** argv) {
     if (!lint_sarif_path.empty()) {
       write_file_atomic(lint_sarif_path, result.lint.to_sarif(path));
       std::printf("wrote %s\n", lint_sarif_path.c_str());
+    }
+    if (result.csa.has_value()) {
+      const CsaReport& csa = result.csa->report;
+      std::printf("csa: %s\n", result.csa->lint.summary().c_str());
+      std::printf("%s\n", csa.to_json().c_str());
+      if (!csa_sarif_path.empty()) {
+        write_file_atomic(csa_sarif_path, result.csa->lint.to_sarif(path));
+        std::printf("wrote %s\n", csa_sarif_path.c_str());
+      }
     }
     if (want_timing) {
       std::fputs(analyze_timing(result.netlist).to_string().c_str(), stdout);

@@ -27,6 +27,9 @@
 ///
 /// Flow knobs: --flow=domino|rs|soi --wmax=N --hmax=N --threads=N
 ///             --seq-aware --exact --verify=N
+///             --csa --csa-margin=X  (static charge-sharing / PBE-safety
+///             analysis per job; the retry ladder shrinks its state
+///             enumeration before relaxing other limits — docs/CSA.md)
 ///
 /// Exit codes (docs/ERRORS.md): 0 all jobs ok (or terminal with
 /// --allow-failures), 7 some jobs failed/quarantined, 6 batch aborted
@@ -53,7 +56,8 @@ namespace {
       "          [--journal=FILE] [--manifest=FILE] [--resume]\n"
       "          [--inject=N/D@SEED] [--allow-failures]\n"
       "          [--flow=domino|rs|soi] [--wmax=N] [--hmax=N] [--threads=N]\n"
-      "          [--seq-aware] [--exact] [--verify=N] [circuit.blif ...]\n",
+      "          [--seq-aware] [--exact] [--verify=N]\n"
+      "          [--csa] [--csa-margin=X] [circuit.blif ...]\n",
       argv0);
   std::exit(64);
 }
@@ -148,6 +152,11 @@ int main(int argc, char** argv) {
       options.flow.exact_equivalence = true;
     } else if (arg.rfind("--verify=", 0) == 0) {
       options.flow.verify_rounds = std::atoi(arg.c_str() + 9);
+    } else if (arg == "--csa") {
+      options.flow.csa = true;
+    } else if (arg.rfind("--csa-margin=", 0) == 0) {
+      options.flow.csa = true;
+      options.flow.csa_options.margin = std::atof(arg.c_str() + 13);
     } else if (arg.rfind("--", 0) == 0) {
       usage(argv[0]);
     } else {

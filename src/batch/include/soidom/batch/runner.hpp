@@ -62,6 +62,8 @@ enum class LadderStep : std::uint8_t {
   kFull,          ///< the caller's FlowOptions verbatim
   kDropExact,     ///< exact_equivalence = false
   kShrinkVerify,  ///< verify_rounds clamped to 2
+  kShrinkCsa,     ///< csa_options.max_states clamped to 256 (the CSA
+                  ///< bound degrades to its truncation fallback sooner)
   kRelaxLimits,   ///< Wmax/Hmax doubled (capped at 64), like the
                   ///< guarded flow's infeasible-limit retry
   kSingleThread,  ///< mapper.num_threads = 1

@@ -288,6 +288,7 @@ const char* ladder_step_name(LadderStep step) {
     case LadderStep::kFull: return "full";
     case LadderStep::kDropExact: return "drop_exact";
     case LadderStep::kShrinkVerify: return "shrink_verify";
+    case LadderStep::kShrinkCsa: return "shrink_csa";
     case LadderStep::kRelaxLimits: return "relax_limits";
     case LadderStep::kSingleThread: return "single_thread";
   }
@@ -299,7 +300,8 @@ LadderStep ladder_step_for_attempt(int attempt) {
     case 1: return LadderStep::kFull;
     case 2: return LadderStep::kDropExact;
     case 3: return LadderStep::kShrinkVerify;
-    case 4: return LadderStep::kRelaxLimits;
+    case 4: return LadderStep::kShrinkCsa;
+    case 5: return LadderStep::kRelaxLimits;
     default: return LadderStep::kSingleThread;
   }
 }
@@ -309,6 +311,10 @@ FlowOptions apply_ladder(const FlowOptions& base, LadderStep step) {
   if (step >= LadderStep::kDropExact) effective.exact_equivalence = false;
   if (step >= LadderStep::kShrinkVerify) {
     effective.verify_rounds = std::min(effective.verify_rounds, 2);
+  }
+  if (step >= LadderStep::kShrinkCsa) {
+    effective.csa_options.max_states =
+        std::min(effective.csa_options.max_states, 256L);
   }
   if (step >= LadderStep::kRelaxLimits) {
     effective.mapper.max_width =

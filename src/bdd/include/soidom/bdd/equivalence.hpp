@@ -15,8 +15,23 @@ namespace soidom {
 std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
                                                const Network& net);
 
-/// Exact equivalence of two networks with identical PI/PO order.
-/// std::nullopt when the node limit was exceeded (fall back to sim).
+/// As above, but PI k maps to BDD variable `pi_vars[k]` (one entry per
+/// PI).  Lets two networks with differently ordered interfaces share one
+/// manager's variable space.
+std::vector<BddManager::Ref> build_output_bdds(
+    BddManager& manager, const Network& net,
+    const std::vector<unsigned>& pi_vars);
+
+/// Exact equivalence of two networks.  Interfaces are matched by NAME:
+/// when the PI and PO name sequences agree positionally (the common
+/// case, including unnamed interfaces) the match is positional;
+/// otherwise both interfaces must carry unique, non-empty names forming
+/// the same sets, and PIs/POs are paired by name.  A mismatched
+/// interface — different sizes, a name present on one side only, or
+/// reordered-but-unmatchable (duplicate / empty) names — throws
+/// GuardError(kParseError, kExact) naming the offending signals instead
+/// of silently comparing by position.  Returns std::nullopt when the
+/// node limit was exceeded (fall back to sim).
 std::optional<bool> equivalent_exact(const Network& a, const Network& b,
                                      std::size_t node_limit = 1u << 22);
 

@@ -1,19 +1,109 @@
 #include "soidom/bdd/equivalence.hpp"
 
+#include <unordered_map>
+
 #include "soidom/base/strings.hpp"
 #include "soidom/guard/fault.hpp"
 #include "soidom/guard/guard.hpp"
 
 namespace soidom {
+namespace {
 
-std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
-                                               const Network& net) {
+[[noreturn]] void interface_error(const std::string& message) {
+  throw GuardError(ErrorCode::kParseError, FlowStage::kExact,
+                   "equivalent_exact: " + message);
+}
+
+/// Map from unique non-empty names to their index; reports duplicates
+/// and empties through `bad` (empty on success).
+std::unordered_map<std::string, std::size_t> index_by_name(
+    const std::vector<std::string>& names, std::string& bad) {
+  std::unordered_map<std::string, std::size_t> map;
+  map.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i].empty()) {
+      bad += format("%s unnamed entry %zu", bad.empty() ? "" : ",", i);
+      continue;
+    }
+    if (!map.emplace(names[i], i).second) {
+      bad += format("%s duplicate '%s'", bad.empty() ? "" : ",",
+                    names[i].c_str());
+    }
+  }
+  return map;
+}
+
+std::vector<std::string> pi_names(const Network& net) {
+  std::vector<std::string> names;
+  names.reserve(net.pis().size());
+  for (const NodeId pi : net.pis()) names.push_back(net.pi_name(pi));
+  return names;
+}
+
+std::vector<std::string> output_names(const Network& net) {
+  std::vector<std::string> names;
+  names.reserve(net.outputs().size());
+  for (const Output& o : net.outputs()) names.push_back(o.name);
+  return names;
+}
+
+/// Positions of `b_names` entries in `a_names` (identity when the
+/// sequences agree positionally, name-matched otherwise).  `what` is
+/// "PI" / "output" for error messages.
+std::vector<std::size_t> match_interface(const std::vector<std::string>& a_names,
+                                         const std::vector<std::string>& b_names,
+                                         const char* what) {
+  std::vector<std::size_t> a_index_of_b(b_names.size());
+  if (a_names == b_names) {
+    for (std::size_t i = 0; i < b_names.size(); ++i) a_index_of_b[i] = i;
+    return a_index_of_b;
+  }
+  std::string bad_a;
+  std::string bad_b;
+  const auto a_map = index_by_name(a_names, bad_a);
+  (void)index_by_name(b_names, bad_b);  // duplicate/empty detection only
+  if (!bad_a.empty() || !bad_b.empty()) {
+    interface_error(format(
+        "%s names differ positionally and cannot be matched by name "
+        "(network A:%s; network B:%s)",
+        what, bad_a.empty() ? " ok" : bad_a.c_str(),
+        bad_b.empty() ? " ok" : bad_b.c_str()));
+  }
+  std::string missing;
+  for (std::size_t i = 0; i < b_names.size(); ++i) {
+    const auto it = a_map.find(b_names[i]);
+    if (it == a_map.end()) {
+      missing += format("%s '%s'", missing.empty() ? "" : ",",
+                        b_names[i].c_str());
+      continue;
+    }
+    a_index_of_b[i] = it->second;
+  }
+  if (!missing.empty()) {
+    interface_error(format("network A has no %s named%s", what,
+                           missing.c_str()));
+  }
+  return a_index_of_b;
+}
+
+}  // namespace
+
+std::vector<BddManager::Ref> build_output_bdds(
+    BddManager& manager, const Network& net,
+    const std::vector<unsigned>& pi_vars) {
+  SOIDOM_REQUIRE(pi_vars.size() == net.pis().size(),
+                 "build_output_bdds: one variable per network PI required");
   SOIDOM_REQUIRE(manager.num_vars() >= net.pis().size(),
                  "BDD manager has fewer variables than network PIs");
-  std::vector<BddManager::Ref> value(net.size(), BddManager::kFalse);
-  value[kConst1Id.value] = BddManager::kTrue;
+  const std::size_t num_nodes = net.size();
+  SOIDOM_ASSERT(num_nodes >= 2);  // constants always exist
+  std::vector<BddManager::Ref> value;
+  value.reserve(num_nodes);
+  value.push_back(BddManager::kFalse);  // kConst0Id
+  value.push_back(BddManager::kTrue);   // kConst1Id
+  value.resize(num_nodes, BddManager::kFalse);
   for (std::size_t v = 0; v < net.pis().size(); ++v) {
-    value[net.pis()[v].value] = manager.var(static_cast<unsigned>(v));
+    value[net.pis()[v].value] = manager.var(pi_vars[v]);
   }
   for (std::uint32_t i = 2; i < net.size(); ++i) {
     const Node& n = net.node(NodeId{i});
@@ -44,16 +134,46 @@ std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
   return out;
 }
 
+std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
+                                               const Network& net) {
+  std::vector<unsigned> identity(net.pis().size());
+  for (std::size_t v = 0; v < identity.size(); ++v) {
+    identity[v] = static_cast<unsigned>(v);
+  }
+  return build_output_bdds(manager, net, identity);
+}
+
 std::optional<bool> equivalent_exact(const Network& a, const Network& b,
                                      std::size_t node_limit) {
-  SOIDOM_REQUIRE(a.pis().size() == b.pis().size() &&
-                     a.outputs().size() == b.outputs().size(),
-                 "equivalent_exact: interface mismatch");
   StageScope stage(FlowStage::kExact);
   SOIDOM_FAULT_PROBE(FlowStage::kExact);
+  if (a.pis().size() != b.pis().size()) {
+    interface_error(format("PI count mismatch (%zu vs %zu)", a.pis().size(),
+                           b.pis().size()));
+  }
+  if (a.outputs().size() != b.outputs().size()) {
+    interface_error(format("output count mismatch (%zu vs %zu)",
+                           a.outputs().size(), b.outputs().size()));
+  }
+  // b's PI k reads the variable of the same-named PI of a; b's outputs
+  // are permuted into a's output order before comparing.
+  const std::vector<std::size_t> pi_map =
+      match_interface(pi_names(a), pi_names(b), "PI");
+  const std::vector<std::size_t> out_map =
+      match_interface(output_names(a), output_names(b), "output");
+  std::vector<unsigned> b_pi_vars(pi_map.size());
+  for (std::size_t i = 0; i < pi_map.size(); ++i) {
+    b_pi_vars[i] = static_cast<unsigned>(pi_map[i]);
+  }
   try {
     BddManager manager(static_cast<unsigned>(a.pis().size()), node_limit);
-    return build_output_bdds(manager, a) == build_output_bdds(manager, b);
+    const std::vector<BddManager::Ref> a_out = build_output_bdds(manager, a);
+    const std::vector<BddManager::Ref> b_out =
+        build_output_bdds(manager, b, b_pi_vars);
+    for (std::size_t i = 0; i < b_out.size(); ++i) {
+      if (b_out[i] != a_out[out_map[i]]) return false;
+    }
+    return true;
   } catch (const GuardError& e) {
     // Only a blow-up is a fallback-to-simulation outcome; cancellation,
     // deadline, and budget trips must keep propagating.

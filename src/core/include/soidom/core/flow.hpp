@@ -14,6 +14,7 @@
 #include <string>
 
 #include "soidom/blif/blif.hpp"
+#include "soidom/csa/csa.hpp"
 #include "soidom/decomp/decompose.hpp"
 #include "soidom/domino/netlist.hpp"
 #include "soidom/domino/stats.hpp"
@@ -51,6 +52,13 @@ struct FlowOptions {
   /// surface through the legacy FlowResult::structure report, so the
   /// default (kError) matches the historical verify_structure behavior.
   LintSeverity lint_fail_on = LintSeverity::kError;
+  /// Charge-sharing & PBE-safety static analysis (csa/csa.hpp) after
+  /// lint: records the droop report and csa.* findings in
+  /// FlowResult::csa; findings at or above `csa_fail_on` fail the flow
+  /// with a kCsa diagnostic.
+  bool csa = false;
+  LintSeverity csa_fail_on = LintSeverity::kError;
+  CsaOptions csa_options;
   /// Functional verification by random simulation (0 disables).
   int verify_rounds = 8;
   std::uint64_t verify_seed = 0x50D0;
@@ -65,6 +73,8 @@ struct FlowResult {
   DominoStats stats;
   /// Full structured lint report (all severities, all rules).
   LintReport lint;
+  /// Charge-sharing analysis outcome when FlowOptions::csa was set.
+  std::optional<CsaResult> csa;
   /// Error-severity lint findings, flattened (legacy view of `lint`).
   VerifyReport structure;
   VerifyReport function;

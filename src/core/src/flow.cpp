@@ -116,6 +116,11 @@ void run_stages(const Network& source, const FlowOptions& options,
     }
   }
 
+  if (options.csa) {
+    enter(guard, FlowStage::kCsa);
+    result.csa = run_csa(result.netlist, options.csa_options);
+  }
+
   if (options.verify_rounds > 0) {
     enter(guard, FlowStage::kVerifyFunction);
     Rng rng(options.verify_seed);
@@ -187,6 +192,19 @@ void run_stages(const Network& source, const FlowOptions& options,
       if (f.severity >= options.lint_fail_on) d.context.push_back(f.to_string());
     }
     out.diagnostic = std::move(d);
+  } else if (result.csa.has_value() &&
+             !result.csa->lint.clean(options.csa_fail_on)) {
+    Diagnostic d{ErrorCode::kVerificationFailed, FlowStage::kCsa,
+                 format("charge-sharing analysis failed at severity >= %s: %s",
+                        lint_severity_name(options.csa_fail_on),
+                        result.csa->lint.summary().c_str()),
+                 {}};
+    for (const Finding& f : result.csa->lint.findings) {
+      if (!f.waived && f.severity >= options.csa_fail_on) {
+        d.context.push_back(f.to_string());
+      }
+    }
+    out.diagnostic = std::move(d);
   } else if (!result.function.ok()) {
     out.diagnostic = Diagnostic{ErrorCode::kVerificationFailed,
                                 FlowStage::kVerifyFunction,
@@ -256,6 +274,24 @@ void validate(const FlowOptions& options) {
                  format("FlowOptions.bdd_node_limit = %zu is invalid "
                         "(need bdd_node_limit >= 2)",
                         options.bdd_node_limit));
+  if (options.csa) {
+    SOIDOM_REQUIRE(options.csa_options.max_states >= 1,
+                   format("FlowOptions.csa_options.max_states = %ld is "
+                          "invalid (need max_states >= 1)",
+                          options.csa_options.max_states));
+    SOIDOM_REQUIRE(options.csa_options.margin >= 0.0,
+                   format("FlowOptions.csa_options.margin = %g is invalid "
+                          "(need margin >= 0)",
+                          options.csa_options.margin));
+    SOIDOM_REQUIRE(options.csa_options.keeper_strength >= 1,
+                   format("FlowOptions.csa_options.keeper_strength = %d is "
+                          "invalid (need keeper_strength >= 1)",
+                          options.csa_options.keeper_strength));
+    SOIDOM_REQUIRE(options.csa_options.num_threads >= 0,
+                   format("FlowOptions.csa_options.num_threads = %d is "
+                          "invalid (need num_threads >= 0)",
+                          options.csa_options.num_threads));
+  }
 }
 
 FlowOutcome run_flow_guarded(const Network& source, const FlowOptions& options,
@@ -317,6 +353,10 @@ std::string summarize(const FlowResult& r) {
       r.function.ok() ? "ok" : "FAIL");
   if (r.exact.has_value()) {
     out += format(" exact=%s", *r.exact ? "equivalent" : "DIFFERENT");
+  }
+  if (r.csa.has_value()) {
+    out += format(" csa=%s max_droop=%.3f",
+                  r.csa->lint.summary().c_str(), r.csa->report.max_droop);
   }
   return out;
 }

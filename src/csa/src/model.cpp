@@ -1,0 +1,98 @@
+/// \file model.cpp
+/// Electrical pulldown model construction for the CSA analyzer.
+///
+/// The node numbering here MUST stay identical to soisim's internal
+/// ModelBuilder (soisim.cpp): node 0 = dynamic node, node 1 = bottom
+/// terminal, and one node per series junction allocated in the same
+/// recursive series-walk order.  The conservativeness oracle feeds
+/// csa_node_caps() vectors straight into SoiSimulator::enable_droop(),
+/// which indexes them by the simulator's numbering.
+#include <algorithm>
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/csa/csa.hpp"
+
+namespace soidom {
+namespace {
+
+/// Mirrors soisim's ModelBuilder::wire: recursively wires a PDN subtree
+/// between nodes `above` and `below`, allocating junction nodes for
+/// series chains and recording them by (series node, position) key.
+struct CsaModelBuilder {
+  const Pdn& pdn;
+  CsaPdnModel& model;
+  std::vector<std::pair<std::uint64_t, std::uint16_t>> junctions;
+
+  void wire(PdnIndex i, std::uint16_t above, std::uint16_t below) {
+    const PdnNode& n = pdn.node(i);
+    switch (n.kind) {
+      case PdnKind::kLeaf:
+        model.devices.push_back(CsaDevice{n.signal, above, below});
+        break;
+      case PdnKind::kParallel:
+        for (const PdnIndex c : n.children) wire(c, above, below);
+        break;
+      case PdnKind::kSeries: {
+        std::uint16_t upper = above;
+        for (std::size_t k = 0; k + 1 < n.children.size(); ++k) {
+          const auto junction = static_cast<std::uint16_t>(model.num_nodes++);
+          junctions.emplace_back(
+              (static_cast<std::uint64_t>(i) << 32) | k, junction);
+          wire(n.children[k], upper, junction);
+          upper = junction;
+        }
+        wire(n.children.back(), upper, below);
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CsaPdnModel build_csa_model(const Pdn& pdn,
+                            const std::vector<DischargePoint>& discharges,
+                            bool footed) {
+  SOIDOM_REQUIRE(!pdn.empty(), "build_csa_model: empty pulldown network");
+  CsaPdnModel model;
+  model.footed = footed;
+  CsaModelBuilder builder{pdn, model, {}};
+  builder.wire(pdn.root(), kCsaDynamicNode, kCsaBottomNode);
+  for (const DischargePoint& p : discharges) {
+    if (p.at_bottom()) {
+      model.discharged.push_back(kCsaBottomNode);
+      continue;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(p.series_node) << 32) | p.pos;
+    const auto it = std::find_if(
+        builder.junctions.begin(), builder.junctions.end(),
+        [&](const auto& j) { return j.first == key; });
+    SOIDOM_REQUIRE(it != builder.junctions.end(),
+                   "build_csa_model: discharge point refers to an unknown "
+                   "junction");
+    model.discharged.push_back(it->second);
+  }
+  return model;
+}
+
+std::vector<double> csa_node_caps(const CsaPdnModel& model,
+                                  const std::vector<double>& device_widths,
+                                  const ChargeModel& charge) {
+  SOIDOM_REQUIRE(device_widths.size() == model.devices.size(),
+                 "csa_node_caps: one width per device required");
+  SOIDOM_ASSERT(model.num_nodes >= 2);  // dynamic + bottom always exist
+  std::vector<double> caps(static_cast<std::size_t>(model.num_nodes), 0.0);
+  caps[kCsaDynamicNode] = charge.c_dyn_fixed;
+  for (std::size_t v = 1; v < caps.size(); ++v) {
+    caps[v] = charge.c_junction_fixed;
+  }
+  for (std::size_t t = 0; t < model.devices.size(); ++t) {
+    const double diffusion = charge.c_diffusion * device_widths[t];
+    caps[model.devices[t].above] += diffusion;
+    caps[model.devices[t].below] += diffusion;
+  }
+  return caps;
+}
+
+}  // namespace soidom

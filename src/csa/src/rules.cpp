@@ -1,0 +1,147 @@
+/// \file rules.cpp
+/// The csa.* lint rule family: renders a CsaReport as structured
+/// findings through the lint engine (docs/LINT.md has the catalogue).
+///
+/// Unlike the built-in netlist rules these are report-driven: the rule
+/// objects hold references to the CsaReport/CsaOptions they were built
+/// over, so csa_registry()'s result must not outlive them (run_csa keeps
+/// everything on one stack frame).
+#include "soidom/base/strings.hpp"
+#include "soidom/csa/csa.hpp"
+
+namespace soidom {
+namespace {
+
+/// Shared base: iterates the report's pulldown bounds and keeps the
+/// registry lifetime contract in one place.
+class CsaRule : public LintRule {
+ public:
+  CsaRule(const CsaReport& report, const CsaOptions& options)
+      : report_(report), options_(options) {}
+
+  /// Report-driven rules never index through the netlist, so they are
+  /// safe to run even when a foundation rule failed.
+  bool needs_sound() const override { return false; }
+
+ protected:
+  /// Calls fn(gate, which, bound) for every analyzed pulldown.
+  template <typename Fn>
+  void for_each_bound(Fn&& fn) const {
+    for (const CsaGateReport& gate : report_.gates) {
+      fn(gate, 1, gate.pd1);
+      if (gate.dual) fn(gate, 2, gate.pd2);
+    }
+  }
+
+  static LintLocation at(const CsaGateReport& gate, int which) {
+    LintLocation loc;
+    loc.gate = gate.gate;
+    loc.pdn = which;
+    return loc;
+  }
+
+  const CsaReport& report_;
+  const CsaOptions& options_;
+};
+
+class PbeDischargeRule final : public CsaRule {
+ public:
+  using CsaRule::CsaRule;
+  const char* id() const override { return "csa.pbe-discharge"; }
+  const char* summary() const override {
+    return "a parasitic-bipolar discharge path can overpower the keeper "
+           "and flip the dynamic node";
+  }
+  LintSeverity severity() const override { return LintSeverity::kError; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    for_each_bound([&](const CsaGateReport& gate, int which,
+                       const CsaPulldownBound& b) {
+      if (!b.keeper_overpowered) return;
+      Finding f;
+      f.severity = severity();
+      f.location = at(gate, which);
+      f.message = format(
+          "%d parasitic device%s can fire against keeper strength %d with "
+          "ground reachable (droop bound %.3f V, worst state: %s)",
+          b.firings, b.firings == 1 ? "" : "s", options_.keeper_strength,
+          b.droop, b.worst_state.c_str());
+      f.fixit =
+          "increase the keeper strength or attach discharge transistors "
+          "to the exposed junctions";
+      out.push_back(std::move(f));
+    });
+  }
+};
+
+class DroopMarginRule final : public CsaRule {
+ public:
+  using CsaRule::CsaRule;
+  const char* id() const override { return "csa.droop-margin"; }
+  const char* summary() const override {
+    return "worst-case charge-sharing droop exceeds the noise margin";
+  }
+  LintSeverity severity() const override { return LintSeverity::kWarning; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    const double limit = options_.margin * options_.charge.vdd;
+    for_each_bound([&](const CsaGateReport& gate, int which,
+                       const CsaPulldownBound& b) {
+      // A keeper-overpowered pulldown already gets the (stronger)
+      // csa.pbe-discharge error; don't double-report.
+      if (b.keeper_overpowered || b.droop < limit) return;
+      Finding f;
+      f.severity = severity();
+      f.location = at(gate, which);
+      f.message = format(
+          "droop bound %.3f V exceeds the noise margin %.3f V "
+          "(%.3f shared cap units, %d injecting device%s, worst state: %s)",
+          b.droop, limit, b.share_cap, b.firings, b.firings == 1 ? "" : "s",
+          b.worst_state.c_str());
+      f.fixit =
+          "attach discharge transistors to precharge the exposed "
+          "junctions low, or reduce the stack depth";
+      out.push_back(std::move(f));
+    });
+  }
+};
+
+class StateExplosionRule final : public CsaRule {
+ public:
+  using CsaRule::CsaRule;
+  const char* id() const override { return "csa.state-explosion"; }
+  const char* summary() const override {
+    return "state enumeration truncated; the bound is the coarser "
+           "pointwise-max fallback";
+  }
+  LintSeverity severity() const override { return LintSeverity::kInfo; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    for_each_bound([&](const CsaGateReport& gate, int which,
+                       const CsaPulldownBound& b) {
+      if (!b.truncated) return;
+      Finding f;
+      f.severity = severity();
+      f.location = at(gate, which);
+      f.message = format(
+          "pulldown state space exceeds max_states=%ld; the reported "
+          "bound assumes every junction shares and every eligible device "
+          "fires (still conservative, possibly loose)",
+          options_.max_states);
+      f.fixit = "raise CsaOptions::max_states for an exact enumeration";
+      out.push_back(std::move(f));
+    });
+  }
+};
+
+}  // namespace
+
+LintRegistry csa_registry(const CsaReport& report, const CsaOptions& options) {
+  LintRegistry registry;
+  registry.add(std::make_unique<PbeDischargeRule>(report, options));
+  registry.add(std::make_unique<DroopMarginRule>(report, options));
+  registry.add(std::make_unique<StateExplosionRule>(report, options));
+  return registry;
+}
+
+}  // namespace soidom

@@ -30,6 +30,7 @@ enum class FlowStage : std::uint8_t {
   kSeqAware,         ///< sequence-aware discharge pruning
   kVerifyStructure,  ///< structural netlist checks
   kLint,             ///< rule-based static lint over the mapped netlist
+  kCsa,              ///< charge-sharing / PBE-safety static analysis
   kVerifyFunction,   ///< random-simulation equivalence
   kExact,            ///< BDD exact equivalence
   // Batch-runner stages (batch/runner.hpp); they carry fault-injection

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "soidom/domino/netlist.hpp"
+#include "soidom/guard/diagnostic.hpp"
 #include "soidom/network/network.hpp"
 
 namespace soidom {
@@ -59,6 +60,9 @@ struct Finding {
   LintLocation location;
   std::string message;
   std::string fixit;  ///< optional suggested repair, empty when none
+  /// Matched by a LintOptions::waivers entry: kept in the report (and
+  /// rendered as a SARIF suppression) but excluded from count()/clean().
+  bool waived = false;
 
   /// "error[pbe-protection] gate 4: ... (fix: attach a discharge at j1)".
   std::string to_string() const;
@@ -78,7 +82,16 @@ struct LintOptions {
   int max_height = 0;
   /// Rule ids to skip (exact match).
   std::vector<std::string> disabled_rules;
+  /// Accepted findings: each entry is `rule` or `rule@substring`, where the
+  /// substring matches the finding's qualified location name (e.g.
+  /// "csa.droop-margin@gate4").  Unlike disabled_rules the rule still
+  /// runs; matching findings are marked Finding::waived, excluded from
+  /// count()/clean()/summary(), and emitted as SARIF suppressions.
+  std::vector<std::string> waivers;
 };
+
+/// True when `waiver` ("rule" or "rule@substring") matches the finding.
+bool waiver_matches(const std::string& waiver, const Finding& finding);
 
 /// Rule metadata captured into the report (drives the SARIF rules table).
 struct LintRuleInfo {
@@ -93,7 +106,7 @@ struct LintReport {
   /// Every rule that ran (also the SARIF tool.driver.rules table).
   std::vector<LintRuleInfo> rules;
 
-  /// Findings at or above `at_least`.
+  /// Findings at or above `at_least` (waived findings excluded).
   int count(LintSeverity at_least) const;
   bool clean(LintSeverity fail_on = LintSeverity::kError) const {
     return count(fail_on) == 0;
@@ -158,10 +171,12 @@ class LintRegistry {
 
 /// Run `registry` over the netlist.  Thread-compatible: concurrent calls
 /// on distinct netlists are safe.  Checkpoints the installed guard and
-/// attributes to FlowStage::kLint.
+/// attributes to `stage` (kLint by default; the CSA engine reuses this
+/// entry point under FlowStage::kCsa).
 LintReport run_lint(const LintRegistry& registry, const DominoNetlist& netlist,
                     const LintOptions& options = {},
-                    const Network* source = nullptr);
+                    const Network* source = nullptr,
+                    FlowStage stage = FlowStage::kLint);
 
 /// Convenience: run the built-in catalogue.
 LintReport run_lint(const DominoNetlist& netlist,

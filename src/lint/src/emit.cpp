@@ -37,6 +37,7 @@ std::string LintReport::to_json() const {
     if (!f.fixit.empty()) {
       out += ",\"fixit\":\"" + json_escape(f.fixit) + "\"";
     }
+    if (f.waived) out += ",\"waived\":true";
     out += '}';
   }
   out += "]}";
@@ -83,9 +84,15 @@ std::string LintReport::to_sarif_run(const std::string& artifact_uri) const {
                     json_escape(artifact_uri).c_str());
     }
     out += format(R"("logicalLocations":[{"kind":"element","name":"%s",)"
-                  R"("fullyQualifiedName":"%s"}]}]})",
+                  R"("fullyQualifiedName":"%s"}]}])",
                   json_escape(f.location.to_string()).c_str(),
                   json_escape(f.location.qualified_name()).c_str());
+    if (f.waived) {
+      // SARIF 2.1.0 suppression: the finding was reviewed and accepted
+      // (a LintOptions::waivers entry matched it).
+      out += R"(,"suppressions":[{"kind":"external","status":"accepted"}])";
+    }
+    out += '}';
   }
   out += "]}";
   return out;

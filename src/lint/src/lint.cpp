@@ -75,22 +75,40 @@ std::string Finding::to_string() const {
                            rule.c_str(), location.to_string().c_str(),
                            message.c_str());
   if (!fixit.empty()) out += format(" (fix: %s)", fixit.c_str());
+  if (waived) out += " [waived]";
   return out;
+}
+
+bool waiver_matches(const std::string& waiver, const Finding& finding) {
+  const std::size_t at = waiver.find('@');
+  const std::string rule = waiver.substr(0, at);
+  if (rule != finding.rule) return false;
+  if (at == std::string::npos) return true;
+  const std::string fragment = waiver.substr(at + 1);
+  return finding.location.qualified_name().find(fragment) !=
+         std::string::npos;
 }
 
 int LintReport::count(LintSeverity at_least) const {
   int n = 0;
   for (const Finding& f : findings) {
-    if (f.severity >= at_least) ++n;
+    if (!f.waived && f.severity >= at_least) ++n;
   }
   return n;
 }
 
 std::string LintReport::summary() const {
-  if (findings.empty()) return "clean";
+  int waived = 0;
+  for (const Finding& f : findings) {
+    if (f.waived) ++waived;
+  }
+  const int live = static_cast<int>(findings.size()) - waived;
+  if (live == 0) {
+    return waived == 0 ? "clean" : format("clean (%d waived)", waived);
+  }
   const int errors = count(LintSeverity::kError);
   const int warnings = count(LintSeverity::kWarning) - errors;
-  const int infos = static_cast<int>(findings.size()) - errors - warnings;
+  const int infos = live - errors - warnings;
   std::string out;
   auto append = [&](int n, const char* what) {
     if (n == 0) return;
@@ -100,6 +118,7 @@ std::string LintReport::summary() const {
   append(errors, "error");
   append(warnings, "warning");
   append(infos, "info");
+  if (waived > 0) out += format(" (%d waived)", waived);
   return out;
 }
 
@@ -109,9 +128,10 @@ void LintRegistry::add(std::unique_ptr<LintRule> rule) {
 }
 
 LintReport run_lint(const LintRegistry& registry, const DominoNetlist& netlist,
-                    const LintOptions& options, const Network* source) {
-  StageScope stage(FlowStage::kLint);
-  SOIDOM_FAULT_PROBE(FlowStage::kLint);
+                    const LintOptions& options, const Network* source,
+                    FlowStage stage) {
+  StageScope scope(stage);
+  SOIDOM_FAULT_PROBE(stage);
   LintReport report;
   LintContext context{netlist, source, options, true};
   const auto disabled = [&](const char* id) {
@@ -135,11 +155,23 @@ LintReport run_lint(const LintRegistry& registry, const DominoNetlist& netlist,
       rule->run(context, found);
       for (Finding& f : found) {
         if (f.rule.empty()) f.rule = rule->id();
+        for (const std::string& waiver : options.waivers) {
+          if (waiver_matches(waiver, f)) {
+            f.waived = true;
+            break;
+          }
+        }
         report.findings.push_back(std::move(f));
       }
     }
     if (pass == 0) {
-      context.sound = report.count(LintSeverity::kError) == 0;
+      // Waived foundation errors still mean the netlist is unsafe to
+      // index, so soundness ignores waivers.
+      bool sound = true;
+      for (const Finding& f : report.findings) {
+        if (f.severity >= LintSeverity::kError) sound = false;
+      }
+      context.sound = sound;
     }
   }
   return report;

@@ -55,6 +55,19 @@ struct SoiSimConfig {
   int keeper_strength = 1;
 };
 
+/// Per-gate electrical inputs for the opt-in charge-sharing droop
+/// observation (enable_droop).  Capacitances are indexed by the gate's
+/// internal electrical-node numbering: node 0 = dynamic node, node 1 =
+/// pulldown bottom, nodes 2+ = series junctions in pulldown-tree walk
+/// order — exactly the numbering soidom/csa builds with build_csa_model,
+/// so the static analyzer's capacitance vectors can be fed in verbatim.
+struct DroopProbe {
+  std::vector<double> caps;   ///< per node of the gate's first pulldown
+  std::vector<double> caps2;  ///< second pulldown of a dual gate; else empty
+  double vdd = 1.0;           ///< supply voltage
+  double q_pbe = 0.0;         ///< charge one firing parasitic device injects
+};
+
 /// One parasitic-bipolar firing.
 struct PbeEvent {
   std::uint32_t gate = 0;        ///< gate index in the netlist
@@ -94,6 +107,19 @@ class SoiSimulator {
 
   /// Max body charge currently held by any transistor of `gate`.
   int max_body_charge(std::uint32_t gate) const;
+
+  // --- charge-sharing droop observation ------------------------------------
+  /// Start recording, per gate and cycle, the dynamic-node voltage droop
+  /// implied by the boolean cycle model: charge redistribution from the
+  /// (still-high) dynamic node into connected precharge-low internal nodes
+  /// plus parasitic-bipolar charge injection.  Cycles where the gate
+  /// legitimately discharges observe 0; a parasitic flip observes the full
+  /// vdd.  One probe per gate; probe.caps must match the gate's node count.
+  /// The running per-gate maximum is what the soidom/csa conservativeness
+  /// oracle compares its static bound against.
+  void enable_droop(std::vector<DroopProbe> probes);
+  /// Largest droop observed for `gate` since enable_droop() / reset().
+  double max_droop(std::uint32_t gate) const;
 
   // --- waveform tracing ----------------------------------------------------
   /// Start recording one sample per cycle: primary inputs, every gate
@@ -141,6 +167,13 @@ class SoiSimulator {
                     const std::vector<bool>& source_pi_values,
                     std::uint32_t gate_index, std::uint32_t tr_offset,
                     CycleResult& result);
+  /// Fold one evaluate phase's droop into max_droop_[gate_index] (no-op
+  /// unless enable_droop() was called).  `second` selects caps vs caps2.
+  void observe_droop(const GateModel& gate,
+                     const std::vector<bool>& precharge_high,
+                     const std::vector<bool>& conducting,
+                     bool legit_dynamic_high, bool dynamic_high,
+                     std::uint32_t gate_index, bool second);
 
   struct TraceSample {
     std::vector<bool> pi_values;
@@ -156,6 +189,8 @@ class SoiSimulator {
   std::vector<std::unique_ptr<GateModel>> seconds_;
   int cycle_ = 0;
   std::vector<PbeEvent> history_;
+  std::vector<DroopProbe> droop_probes_;  ///< empty unless enable_droop()
+  std::vector<double> max_droop_;         ///< per gate, since reset
   bool tracing_ = false;
   std::vector<std::string> trace_pi_names_;
   std::vector<TraceSample> trace_;

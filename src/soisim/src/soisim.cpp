@@ -106,6 +106,7 @@ void SoiSimulator::reset() {
   cycle_ = 0;
   history_.clear();
   trace_.clear();
+  max_droop_.assign(gates_.size(), 0.0);
   auto reset_model = [](GateModel& g) {
     g.node_high.assign(static_cast<std::size_t>(g.num_nodes), false);
     g.node_high[kDynamicNode] = true;
@@ -137,6 +138,7 @@ bool SoiSimulator::settle(GateModel& gate, const std::vector<bool>& conducting,
   // component holding the dynamic node -> high (unless grounded),
   // everything else floats (keeps its previous charge).
   const auto n = static_cast<std::size_t>(gate.num_nodes);
+  SOIDOM_ASSERT(n >= 2);  // dynamic + bottom always exist
   std::vector<int> comp(n, -1);
   int num_comps = 0;
   for (std::size_t seed = 0; seed < n; ++seed) {
@@ -255,6 +257,11 @@ bool SoiSimulator::run_pulldown(GateModel& gate,
       dynamic_high = true;
       gate.node_high[kDynamicNode] = true;
     }
+  }
+
+  if (!droop_probes_.empty()) {
+    observe_droop(gate, precharge_high, conducting, legit_dynamic_high,
+                  dynamic_high, gate_index, /*second=*/tr_offset != 0);
   }
 
   // ---- BODY STATE ------------------------------------------------------
@@ -416,6 +423,90 @@ std::string SoiSimulator::trace_vcd() const {
   }
   out += '#' + std::to_string(trace_.size()) + '\n';
   return out;
+}
+
+void SoiSimulator::enable_droop(std::vector<DroopProbe> probes) {
+  SOIDOM_REQUIRE(probes.size() == gates_.size(),
+                 "enable_droop: need exactly one DroopProbe per gate");
+  for (std::size_t g = 0; g < probes.size(); ++g) {
+    SOIDOM_REQUIRE(probes[g].caps.size() ==
+                       static_cast<std::size_t>(gates_[g].num_nodes),
+                   "enable_droop: probe caps do not match the gate model");
+    const std::size_t second =
+        seconds_[g] ? static_cast<std::size_t>(seconds_[g]->num_nodes) : 0;
+    SOIDOM_REQUIRE(probes[g].caps2.size() == second,
+                   "enable_droop: probe caps2 do not match the gate model");
+  }
+  droop_probes_ = std::move(probes);
+  max_droop_.assign(gates_.size(), 0.0);
+}
+
+double SoiSimulator::max_droop(std::uint32_t gate) const {
+  SOIDOM_REQUIRE(!droop_probes_.empty(),
+                 "max_droop: enable_droop() was never called");
+  SOIDOM_ASSERT(gate < max_droop_.size());
+  return max_droop_[gate];
+}
+
+void SoiSimulator::observe_droop(const GateModel& gate,
+                                 const std::vector<bool>& precharge_high,
+                                 const std::vector<bool>& conducting,
+                                 bool legit_dynamic_high, bool dynamic_high,
+                                 std::uint32_t gate_index, bool second) {
+  const DroopProbe& probe = droop_probes_[gate_index];
+  const std::vector<double>& caps = second ? probe.caps2 : probe.caps;
+  double droop = 0.0;
+  if (!legit_dynamic_high) {
+    // The gate was meant to discharge this cycle: no hazard to observe.
+    droop = 0.0;
+  } else if (!dynamic_high) {
+    // Parasitic flip: the dynamic node was fully (and wrongly) discharged.
+    droop = probe.vdd;
+  } else {
+    // The node stayed high: charge redistributes from the dynamic node
+    // into every connected precharge-low node, plus the charge injected
+    // by firing parasitic devices touching the component.  The flood
+    // never expands through the grounded bottom terminal — when a
+    // parasitic path reaches ground but the keeper holds (keeper
+    // contention), the keeper replenishes what flows that way.
+    std::vector<bool> member(static_cast<std::size_t>(gate.num_nodes), false);
+    member[kDynamicNode] = true;
+    std::vector<std::uint16_t> stack{kDynamicNode};
+    while (!stack.empty()) {
+      const std::uint16_t node = stack.back();
+      stack.pop_back();
+      for (std::size_t t = 0; t < gate.transistors.size(); ++t) {
+        if (!conducting[t]) continue;
+        const Transistor& tr = gate.transistors[t];
+        std::uint16_t other;
+        if (tr.above == node) {
+          other = tr.below;
+        } else if (tr.below == node) {
+          other = tr.above;
+        } else {
+          continue;
+        }
+        if (other == kBottomNode || member[other]) continue;
+        member[other] = true;
+        stack.push_back(other);
+      }
+    }
+    double total = 0.0;
+    double shared_low = 0.0;
+    for (std::size_t v = 0; v < member.size(); ++v) {
+      if (!member[v]) continue;
+      total += caps[v];
+      if (!precharge_high[v]) shared_low += caps[v];
+    }
+    int firings = 0;
+    for (const Transistor& tr : gate.transistors) {
+      if (tr.pbe_on && (member[tr.above] || member[tr.below])) ++firings;
+    }
+    if (total > 0.0) {
+      droop = (probe.vdd * shared_low + probe.q_pbe * firings) / total;
+    }
+  }
+  max_droop_[gate_index] = std::max(max_droop_[gate_index], droop);
 }
 
 int SoiSimulator::max_body_charge(std::uint32_t gate) const {

@@ -105,8 +105,9 @@ TEST(Ladder, AttemptsEscalateAndSaturate) {
   EXPECT_EQ(ladder_step_for_attempt(1), LadderStep::kFull);
   EXPECT_EQ(ladder_step_for_attempt(2), LadderStep::kDropExact);
   EXPECT_EQ(ladder_step_for_attempt(3), LadderStep::kShrinkVerify);
-  EXPECT_EQ(ladder_step_for_attempt(4), LadderStep::kRelaxLimits);
-  EXPECT_EQ(ladder_step_for_attempt(5), LadderStep::kSingleThread);
+  EXPECT_EQ(ladder_step_for_attempt(4), LadderStep::kShrinkCsa);
+  EXPECT_EQ(ladder_step_for_attempt(5), LadderStep::kRelaxLimits);
+  EXPECT_EQ(ladder_step_for_attempt(6), LadderStep::kSingleThread);
   EXPECT_EQ(ladder_step_for_attempt(9), LadderStep::kSingleThread);
 }
 
@@ -117,6 +118,7 @@ TEST(Ladder, StepsAreCumulative) {
   base.mapper.max_width = 5;
   base.mapper.max_height = 8;
   base.mapper.num_threads = 0;
+  base.csa_options.max_states = 4096;
 
   const FlowOptions full = apply_ladder(base, LadderStep::kFull);
   EXPECT_TRUE(full.exact_equivalence);
@@ -130,14 +132,23 @@ TEST(Ladder, StepsAreCumulative) {
   EXPECT_FALSE(shrink.exact_equivalence);
   EXPECT_EQ(shrink.verify_rounds, 2);
   EXPECT_EQ(shrink.mapper.max_width, 5);
+  EXPECT_EQ(shrink.csa_options.max_states, 4096);
+
+  const FlowOptions csa = apply_ladder(base, LadderStep::kShrinkCsa);
+  EXPECT_FALSE(csa.exact_equivalence);
+  EXPECT_EQ(csa.verify_rounds, 2);
+  EXPECT_EQ(csa.csa_options.max_states, 256);
+  EXPECT_EQ(csa.mapper.max_width, 5);
 
   const FlowOptions relax = apply_ladder(base, LadderStep::kRelaxLimits);
   EXPECT_EQ(relax.mapper.max_width, 10);
   EXPECT_EQ(relax.mapper.max_height, 16);
+  EXPECT_EQ(relax.csa_options.max_states, 256);
 
   const FlowOptions single = apply_ladder(base, LadderStep::kSingleThread);
   EXPECT_FALSE(single.exact_equivalence);
   EXPECT_EQ(single.verify_rounds, 2);
+  EXPECT_EQ(single.csa_options.max_states, 256);
   EXPECT_EQ(single.mapper.max_width, 10);
   EXPECT_EQ(single.mapper.num_threads, 1);
 }

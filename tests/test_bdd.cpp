@@ -3,6 +3,7 @@
 #include "helpers.hpp"
 #include "soidom/bdd/bdd.hpp"
 #include "soidom/bdd/equivalence.hpp"
+#include "soidom/guard/guard.hpp"
 #include "soidom/domino/exact.hpp"
 #include "soidom/decomp/decompose.hpp"
 #include "soidom/mapper/mapper.hpp"
@@ -153,6 +154,118 @@ TEST(BddEquivalence, MappedNetlistMismatchDetected) {
   o.inverted = !o.inverted;
   broken.add_output(o);
   EXPECT_EQ(equivalent_exact(broken, source), std::optional<bool>(false));
+}
+
+TEST(BddEquivalence, ReorderedInterfacesMatchByName) {
+  // Same functions, PIs and POs declared in a different order: the
+  // name-based matching must pair them up instead of comparing
+  // positionally (which would report a spurious mismatch).
+  NetworkBuilder b1;
+  const NodeId x1 = b1.add_pi("x");
+  const NodeId y1 = b1.add_pi("y");
+  b1.add_output(b1.add_and(x1, y1), "and");
+  b1.add_output(b1.add_or(x1, y1), "or");
+  NetworkBuilder b2;
+  const NodeId y2 = b2.add_pi("y");
+  const NodeId x2 = b2.add_pi("x");
+  b2.add_output(b2.add_or(x2, y2), "or");
+  b2.add_output(b2.add_and(x2, y2), "and");
+  EXPECT_EQ(equivalent_exact(std::move(b1).build(), std::move(b2).build()),
+            std::optional<bool>(true));
+}
+
+TEST(BddEquivalence, ReorderedAsymmetricFunctionIsNotPositional) {
+  // x & !y vs (PIs swapped) x & !y: positionally these would wrongly
+  // compare x & !y against y & !x and return false; name matching must
+  // return true.  The dual check — matched names but genuinely different
+  // functions — must still fail.
+  NetworkBuilder b1;
+  const NodeId x1 = b1.add_pi("x");
+  const NodeId y1 = b1.add_pi("y");
+  b1.add_output(b1.add_and(x1, b1.add_inv(y1)), "z");
+  const Network a = std::move(b1).build();
+
+  NetworkBuilder b2;
+  const NodeId y2 = b2.add_pi("y");
+  const NodeId x2 = b2.add_pi("x");
+  b2.add_output(b2.add_and(x2, b2.add_inv(y2)), "z");
+  EXPECT_EQ(equivalent_exact(a, std::move(b2).build()),
+            std::optional<bool>(true));
+
+  NetworkBuilder b3;
+  const NodeId y3 = b3.add_pi("y");
+  const NodeId x3 = b3.add_pi("x");
+  b3.add_output(b3.add_and(b3.add_inv(x3), y3), "z");
+  EXPECT_EQ(equivalent_exact(a, std::move(b3).build()),
+            std::optional<bool>(false));
+}
+
+TEST(BddEquivalence, InterfaceSizeMismatchThrows) {
+  NetworkBuilder b1;
+  b1.add_output(b1.add_pi("x"), "z");
+  NetworkBuilder b2;
+  const NodeId x = b2.add_pi("x");
+  const NodeId y = b2.add_pi("y");
+  b2.add_output(b2.add_and(x, y), "z");
+  try {
+    (void)equivalent_exact(std::move(b1).build(), std::move(b2).build());
+    FAIL() << "expected GuardError";
+  } catch (const GuardError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    EXPECT_EQ(e.stage(), FlowStage::kExact);
+    EXPECT_NE(std::string(e.what()).find("PI count mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(BddEquivalence, MissingNameThrowsWithOffendingSignal) {
+  NetworkBuilder b1;
+  const NodeId x1 = b1.add_pi("x");
+  const NodeId y1 = b1.add_pi("y");
+  b1.add_output(b1.add_and(x1, y1), "z");
+  NetworkBuilder b2;
+  const NodeId y2 = b2.add_pi("y");
+  const NodeId w2 = b2.add_pi("w");  // no 'x' on side A
+  b2.add_output(b2.add_and(w2, y2), "z");
+  try {
+    (void)equivalent_exact(std::move(b1).build(), std::move(b2).build());
+    FAIL() << "expected GuardError";
+  } catch (const GuardError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    EXPECT_NE(std::string(e.what()).find("'w'"), std::string::npos);
+  }
+}
+
+TEST(BddEquivalence, DuplicateNamesUnmatchableWhenReordered) {
+  // Two PIs named "x" cannot be paired by name; with different PI orders
+  // the check must refuse rather than guess.
+  auto build = [](bool swap) {
+    NetworkBuilder b;
+    const NodeId p = b.add_pi("x");
+    const NodeId q = b.add_pi(swap ? "y" : "x");
+    b.add_output(b.add_and(p, q), "z");
+    return std::move(b).build();
+  };
+  try {
+    (void)equivalent_exact(build(false), build(true));
+    FAIL() << "expected GuardError";
+  } catch (const GuardError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    EXPECT_NE(std::string(e.what()).find("duplicate 'x'"), std::string::npos);
+  }
+}
+
+TEST(BddEquivalence, PositionalFastPathToleratesDuplicateNames) {
+  // Identical (even degenerate) name sequences keep the positional fast
+  // path: duplicates are fine when no reordering is needed.
+  auto build = [] {
+    NetworkBuilder b;
+    const NodeId p = b.add_pi("x");
+    const NodeId q = b.add_pi("x");
+    b.add_output(b.add_or(p, q), "z");
+    return std::move(b).build();
+  };
+  EXPECT_EQ(equivalent_exact(build(), build()), std::optional<bool>(true));
 }
 
 TEST(BddEquivalence, NodeLimitReturnsNullopt) {

@@ -1,0 +1,455 @@
+/// \file test_csa.cpp
+/// Static charge-sharing / PBE-safety analyzer (src/csa): model
+/// construction, per-pulldown bounds, rule findings, flow integration,
+/// thread-count determinism — and the conservativeness oracle that pins
+/// the static droop bound above everything soisim's transient droop
+/// observation ever reports on the same gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/csa/csa.hpp"
+#include "soidom/domino/postpass.hpp"
+#include "soidom/soisim/soisim.hpp"
+
+namespace soidom {
+namespace {
+
+/// The paper's Fig. 2 gate (A+B+C)*D, parallel stack on top: the PBE
+/// showcase (an unprotected junction under the stack).
+DominoNetlist fig2_gate(bool with_discharge) {
+  DominoNetlist nl;
+  const std::uint32_t a = nl.add_input({"A", 0, false});
+  const std::uint32_t b = nl.add_input({"B", 1, false});
+  const std::uint32_t c = nl.add_input({"C", 2, false});
+  const std::uint32_t d = nl.add_input({"D", 3, false});
+  DominoGate g;
+  const PdnIndex par = g.pdn.add_parallel(
+      {g.pdn.add_leaf(a), g.pdn.add_leaf(b), g.pdn.add_leaf(c)});
+  g.pdn.set_root(g.pdn.add_series({par, g.pdn.add_leaf(d)}));
+  g.footed = true;
+  nl.add_gate(std::move(g));
+  nl.add_output({nl.signal_of_gate(0), "f", false, -1});
+  if (with_discharge) insert_discharges(nl, GroundingPolicy::kNoneGrounded);
+  return nl;
+}
+
+/// DroopProbes with exactly the capacitance vectors run_csa analyzes, so
+/// the simulator's observation and the static bound share one electrical
+/// model (the point of the oracle).
+std::vector<DroopProbe> make_probes(const DominoNetlist& nl,
+                                    const CsaOptions& opts) {
+  SizingResult sizing;
+  if (opts.use_sizing) sizing = size_netlist(nl, opts.sizing);
+  std::vector<DroopProbe> probes(nl.gates().size());
+  for (std::size_t g = 0; g < nl.gates().size(); ++g) {
+    const DominoGate& spec = nl.gates()[g];
+    DroopProbe& probe = probes[g];
+    probe.vdd = opts.charge.vdd;
+    probe.q_pbe = opts.charge.q_pbe;
+    const auto caps_of = [&](const Pdn& pdn,
+                             const std::vector<DischargePoint>& discharges,
+                             bool footed, std::size_t width_offset) {
+      const CsaPdnModel model = build_csa_model(pdn, discharges, footed);
+      std::vector<double> w(model.devices.size(), 1.0);
+      if (opts.use_sizing) {
+        const std::vector<double>& widths = sizing.gates[g].pulldown_widths;
+        std::copy_n(widths.begin() + static_cast<std::ptrdiff_t>(width_offset),
+                    w.size(), w.begin());
+      }
+      return csa_node_caps(model, w, opts.charge);
+    };
+    probe.caps = caps_of(spec.pdn, spec.discharges, spec.footed, 0);
+    if (spec.dual()) {
+      probe.caps2 = caps_of(spec.pdn2, spec.discharges2, spec.footed2,
+                            spec.pdn.leaf_signals().size());
+    }
+  }
+  return probes;
+}
+
+/// Drive `cycles` random input vectors through soisim with droop
+/// observation on and assert the static bound dominates the observed
+/// per-gate maximum.  Zero underestimates, ever.
+void expect_conservative(const DominoNetlist& nl, std::size_t num_pis,
+                         const CsaOptions& opts, std::uint64_t seed,
+                         int cycles) {
+  const CsaResult csa = run_csa(nl, opts);
+  ASSERT_EQ(csa.report.gates.size(), nl.gates().size());
+
+  SoiSimConfig config;
+  config.keeper_strength = opts.keeper_strength;
+  SoiSimulator sim(nl, config);
+  sim.enable_droop(make_probes(nl, opts));
+  Rng rng(seed);
+  for (int c = 0; c < cycles; ++c) {
+    std::vector<bool> in;
+    for (std::size_t k = 0; k < num_pis; ++k) in.push_back(rng.chance(1, 2));
+    sim.step(in);
+  }
+  for (std::size_t g = 0; g < nl.gates().size(); ++g) {
+    EXPECT_LE(sim.max_droop(static_cast<std::uint32_t>(g)),
+              csa.report.gates[g].droop() + 1e-9)
+        << "gate " << g << " seed " << seed << " underestimated";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model construction.
+
+TEST(CsaModel, Fig2NodeNumberingAndDevices) {
+  const DominoNetlist nl = fig2_gate(false);
+  const DominoGate& g = nl.gates()[0];
+  const CsaPdnModel model = build_csa_model(g.pdn, g.discharges, g.footed);
+  // dyn + bottom + one junction under the parallel stack.
+  EXPECT_EQ(model.num_nodes, 3);
+  ASSERT_EQ(model.devices.size(), 4u);
+  for (int t = 0; t < 3; ++t) {  // A, B, C: dynamic node -> junction
+    EXPECT_EQ(model.devices[t].above, kCsaDynamicNode);
+    EXPECT_EQ(model.devices[t].below, 2);
+  }
+  EXPECT_EQ(model.devices[3].above, 2);  // D: junction -> bottom
+  EXPECT_EQ(model.devices[3].below, kCsaBottomNode);
+  EXPECT_TRUE(model.discharged.empty());
+  EXPECT_TRUE(model.footed);
+}
+
+TEST(CsaModel, DischargePointsResolveToJunctions) {
+  const DominoNetlist nl = fig2_gate(true);
+  const DominoGate& g = nl.gates()[0];
+  ASSERT_FALSE(g.discharges.empty());
+  const CsaPdnModel model = build_csa_model(g.pdn, g.discharges, g.footed);
+  ASSERT_EQ(model.discharged.size(), g.discharges.size());
+  EXPECT_EQ(model.discharged[0], 2);
+}
+
+TEST(CsaModel, NodeCapsSumFixedAndDiffusion) {
+  const DominoNetlist nl = fig2_gate(false);
+  const DominoGate& g = nl.gates()[0];
+  const CsaPdnModel model = build_csa_model(g.pdn, g.discharges, g.footed);
+  const ChargeModel charge;  // defaults: 4.0 / 0.2 / 0.5
+  const std::vector<double> caps =
+      csa_node_caps(model, {1.0, 1.0, 1.0, 2.0}, charge);
+  ASSERT_EQ(caps.size(), 3u);
+  EXPECT_DOUBLE_EQ(caps[0], 4.0 + 0.5 * 3.0);        // A, B, C drains
+  EXPECT_DOUBLE_EQ(caps[1], 0.2 + 0.5 * 2.0);        // D source
+  EXPECT_DOUBLE_EQ(caps[2], 0.2 + 0.5 * 3.0 + 1.0);  // stack sources + D drain
+}
+
+// ---------------------------------------------------------------------------
+// Per-pulldown bounds.
+
+TEST(CsaBound, UnprotectedFig2OverpowersMinimumKeeper) {
+  const DominoNetlist nl = fig2_gate(false);
+  const DominoGate& g = nl.gates()[0];
+  const CsaPdnModel model = build_csa_model(g.pdn, g.discharges, g.footed);
+  CsaOptions opts;
+  const std::vector<double> caps = csa_node_caps(
+      model, std::vector<double>(model.devices.size(), 1.0), opts.charge);
+  const CsaPulldownBound bound = bound_pulldown(model, caps, opts);
+  EXPECT_TRUE(bound.ground_reachable);
+  EXPECT_TRUE(bound.keeper_overpowered);
+  EXPECT_GE(bound.droop, opts.charge.vdd);
+  EXPECT_FALSE(bound.truncated);
+  EXPECT_EQ(bound.states, 1L << 5);  // 4 signals + 1 free junction
+  EXPECT_NE(bound.worst_state.find("in="), std::string::npos);
+  EXPECT_NE(bound.worst_state.find("pre="), std::string::npos);
+}
+
+TEST(CsaBound, DischargeProtectionRemovesTheFlip) {
+  const DominoNetlist nl = fig2_gate(true);
+  const DominoGate& g = nl.gates()[0];
+  const CsaPdnModel model = build_csa_model(g.pdn, g.discharges, g.footed);
+  CsaOptions opts;
+  const std::vector<double> caps = csa_node_caps(
+      model, std::vector<double>(model.devices.size(), 1.0), opts.charge);
+  const CsaPulldownBound bound = bound_pulldown(model, caps, opts);
+  EXPECT_FALSE(bound.keeper_overpowered);
+  // The junction is precharged low, so pure charge sharing remains:
+  // redistribution onto caps[2], strictly below the supply.
+  EXPECT_GT(bound.droop, 0.0);
+  EXPECT_LT(bound.droop, opts.charge.vdd);
+  EXPECT_DOUBLE_EQ(bound.share_cap, caps[2]);
+  EXPECT_EQ(bound.firings, 0);
+  EXPECT_EQ(bound.states, 1L << 4);  // the protected junction is not free
+}
+
+TEST(CsaBound, KeeperStrengthAboveStackWidthHoldsTheNode) {
+  const DominoNetlist nl = fig2_gate(false);
+  const DominoGate& g = nl.gates()[0];
+  const CsaPdnModel model = build_csa_model(g.pdn, g.discharges, g.footed);
+  CsaOptions opts;
+  const std::vector<double> caps = csa_node_caps(
+      model, std::vector<double>(model.devices.size(), 1.0), opts.charge);
+  opts.keeper_strength = 3;  // the stack can fire at most 3 candidates
+  EXPECT_TRUE(bound_pulldown(model, caps, opts).keeper_overpowered);
+  opts.keeper_strength = 4;
+  const CsaPulldownBound held = bound_pulldown(model, caps, opts);
+  EXPECT_FALSE(held.keeper_overpowered);
+  EXPECT_LT(held.droop, opts.charge.vdd);
+}
+
+TEST(CsaBound, TruncationFallbackIsFlaggedAndCoarse) {
+  const DominoNetlist nl = fig2_gate(false);
+  const DominoGate& g = nl.gates()[0];
+  const CsaPdnModel model = build_csa_model(g.pdn, g.discharges, g.footed);
+  CsaOptions opts;
+  opts.max_states = 1;
+  const std::vector<double> caps = csa_node_caps(
+      model, std::vector<double>(model.devices.size(), 1.0), opts.charge);
+  const CsaPulldownBound bound = bound_pulldown(model, caps, opts);
+  EXPECT_TRUE(bound.truncated);
+  EXPECT_EQ(bound.states, 0);
+  EXPECT_EQ(bound.worst_state, "truncated");
+  EXPECT_TRUE(bound.keeper_overpowered);
+  EXPECT_DOUBLE_EQ(bound.share_cap, caps[2]);  // every junction shares
+  EXPECT_EQ(bound.firings, 3);                 // A, B, C are eligible
+  // The fallback dominates the exact enumeration.
+  opts.max_states = 4096;
+  EXPECT_GE(bound.droop, bound_pulldown(model, caps, opts).droop);
+}
+
+// ---------------------------------------------------------------------------
+// Rules, findings, waivers.
+
+TEST(CsaRules, UnprotectedGateRaisesPbeDischargeError) {
+  const CsaResult r = run_csa(fig2_gate(false));
+  ASSERT_EQ(r.report.gates.size(), 1u);
+  EXPECT_TRUE(r.report.gates[0].keeper_overpowered());
+  EXPECT_EQ(r.report.gates_keeper_overpowered, 1);
+  bool found = false;
+  for (const Finding& f : r.lint.findings) {
+    found = found || f.rule == "csa.pbe-discharge";
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(r.lint.clean(LintSeverity::kError));
+}
+
+TEST(CsaRules, ProtectedGateHasNoError) {
+  const CsaResult r = run_csa(fig2_gate(true));
+  EXPECT_EQ(r.report.gates_keeper_overpowered, 0);
+  EXPECT_TRUE(r.lint.clean(LintSeverity::kError));
+  for (const Finding& f : r.lint.findings) {
+    EXPECT_NE(f.rule, "csa.pbe-discharge");
+  }
+}
+
+TEST(CsaRules, DroopMarginWarningTracksTheThreshold) {
+  CsaOptions strict;
+  strict.margin = 0.0;  // any droop at all crosses the margin
+  const CsaResult flagged = run_csa(fig2_gate(true), strict);
+  bool warned = false;
+  for (const Finding& f : flagged.lint.findings) {
+    warned = warned || f.rule == "csa.droop-margin";
+  }
+  EXPECT_TRUE(warned);
+
+  CsaOptions lax;
+  lax.margin = 1.0;  // the protected gate droops well below vdd
+  const CsaResult quiet = run_csa(fig2_gate(true), lax);
+  for (const Finding& f : quiet.lint.findings) {
+    EXPECT_NE(f.rule, "csa.droop-margin");
+  }
+}
+
+TEST(CsaRules, StateExplosionInfoOnTruncation) {
+  CsaOptions opts;
+  opts.max_states = 1;
+  const CsaResult r = run_csa(fig2_gate(false), opts);
+  EXPECT_EQ(r.report.gates_truncated, 1);
+  bool info = false;
+  for (const Finding& f : r.lint.findings) {
+    if (f.rule == "csa.state-explosion") {
+      info = true;
+      EXPECT_EQ(f.severity, LintSeverity::kInfo);
+    }
+  }
+  EXPECT_TRUE(info);
+}
+
+TEST(CsaRules, WaiversSuppressWithoutDeletingFindings) {
+  CsaOptions opts;
+  opts.waivers = {"csa.pbe-discharge"};
+  const CsaResult r = run_csa(fig2_gate(false), opts);
+  bool waived = false;
+  for (const Finding& f : r.lint.findings) {
+    if (f.rule == "csa.pbe-discharge") {
+      waived = true;
+      EXPECT_TRUE(f.waived);
+    }
+  }
+  EXPECT_TRUE(waived);
+  EXPECT_TRUE(r.lint.clean(LintSeverity::kError));
+  EXPECT_NE(r.lint.to_sarif("x").find("\"suppressions\""), std::string::npos);
+}
+
+TEST(CsaReportJson, CarriesParametersAndPerGateBounds) {
+  const CsaResult r = run_csa(fig2_gate(false));
+  const std::string json = r.report.to_json();
+  EXPECT_NE(json.find("\"vdd\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"keeper_strength\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"gates\":[{\"gate\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"worst_state\""), std::string::npos);
+  EXPECT_NE(json.find("\"ground_reachable\":true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flow integration.
+
+TEST(CsaFlow, OptInPopulatesResultAndSummary) {
+  FlowOptions options;
+  options.csa = true;
+  const FlowResult r = run_flow(testing::fig3_network(), options);
+  ASSERT_TRUE(r.csa.has_value());
+  EXPECT_EQ(r.csa->report.gates.size(), r.netlist.gates().size());
+  EXPECT_NE(summarize(r).find("csa="), std::string::npos);
+
+  const FlowResult off = run_flow(testing::fig3_network(), FlowOptions{});
+  EXPECT_FALSE(off.csa.has_value());
+  EXPECT_EQ(summarize(off).find("csa="), std::string::npos);
+}
+
+TEST(CsaFlow, FailOnSeverityGatesTheFlow) {
+  FlowOptions options;
+  options.csa = true;
+  options.csa_options.margin = 0.0;  // every gate crosses the margin
+  options.csa_fail_on = LintSeverity::kWarning;
+  const FlowOutcome outcome =
+      run_flow_guarded(testing::fig3_network(), options);
+  ASSERT_TRUE(outcome.result.has_value());  // netlist still delivered
+  ASSERT_TRUE(outcome.diagnostic.has_value());
+  EXPECT_EQ(outcome.diagnostic->code, ErrorCode::kVerificationFailed);
+  EXPECT_EQ(outcome.diagnostic->stage, FlowStage::kCsa);
+}
+
+TEST(CsaFlow, BadOptionsRejectedUpFront) {
+  FlowOptions options;
+  options.csa = true;
+  options.csa_options.max_states = 0;
+  EXPECT_THROW(validate(options), Error);
+  options.csa_options.max_states = 1;
+  options.csa_options.margin = -0.5;
+  EXPECT_THROW(validate(options), Error);
+  options.csa_options.margin = 0.25;
+  options.csa_options.keeper_strength = 0;
+  EXPECT_THROW(validate(options), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts.
+
+TEST(CsaDeterminism, ReportAndSarifByteIdenticalAcrossThreads) {
+  for (const char* name : {"cm150", "9symml"}) {
+    FlowOptions flow;
+    flow.verify_rounds = 0;
+    const FlowResult mapped = run_flow(build_benchmark(name), flow);
+    std::string reference_json;
+    std::string reference_sarif;
+    for (const int threads : {1, 2, 4, 0}) {
+      CsaOptions opts;
+      opts.num_threads = threads;
+      const CsaResult r = run_csa(mapped.netlist, opts);
+      const std::string json = r.report.to_json();
+      const std::string sarif = r.lint.to_sarif("x.circuit");
+      if (reference_json.empty()) {
+        reference_json = json;
+        reference_sarif = sarif;
+      } else {
+        EXPECT_EQ(json, reference_json) << name << " threads=" << threads;
+        EXPECT_EQ(sarif, reference_sarif) << name << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The conservativeness oracle: static bound >= simulated droop, always.
+
+TEST(CsaOracle, Fig2HandGateNeverUnderestimated) {
+  for (const bool protected_gate : {false, true}) {
+    const DominoNetlist nl = fig2_gate(protected_gate);
+    CsaOptions opts;
+    expect_conservative(nl, 4, opts, protected_gate ? 7 : 3, 64);
+  }
+}
+
+TEST(CsaOracle, AdversarialHoldThenFireSequence) {
+  // The paper's killer sequence observes the full parasitic flip; the
+  // static bound must sit at vdd or above.
+  const DominoNetlist nl = fig2_gate(false);
+  const CsaOptions opts;
+  const CsaResult csa = run_csa(nl, opts);
+  SoiSimulator sim(nl);
+  sim.enable_droop(make_probes(nl, opts));
+  for (int cycle = 0; cycle < 5; ++cycle) sim.step({true, false, false, false});
+  sim.step({false, false, false, true});
+  EXPECT_DOUBLE_EQ(sim.max_droop(0), opts.charge.vdd);  // flip observed
+  EXPECT_LE(sim.max_droop(0), csa.report.gates[0].droop() + 1e-9);
+}
+
+TEST(CsaOracle, FuzzCorpusZeroUnderestimates) {
+  // >= 200 random mapped netlists x 16 cycles, options varied across the
+  // corpus (keeper strength, sizing, protection policy).
+  int cases = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Network source =
+        testing::random_network(5, 10 + static_cast<int>(seed % 13), 3, seed);
+    FlowOptions flow;
+    flow.verify_rounds = 0;
+    if (seed % 4 == 0) {
+      flow.mapper.pending_model = PendingModel::kPaperLiteral;
+      flow.mapper.grounding = GroundingPolicy::kNoneGrounded;
+    }
+    const FlowResult mapped = run_flow(source, flow);
+    CsaOptions opts;
+    opts.keeper_strength = 1 + static_cast<int>(seed % 3);
+    opts.use_sizing = seed % 2 == 0;
+    expect_conservative(mapped.netlist, 5, opts, seed * 31, 16);
+    ++cases;
+  }
+  EXPECT_EQ(cases, 200);
+}
+
+TEST(CsaOracle, TruncatedBoundStaysConservative) {
+  // max_states=1 degrades every nontrivial gate to the fallback bound,
+  // which must still dominate the simulator.
+  for (const std::uint64_t seed : {5u, 17u, 42u}) {
+    const Network source = testing::random_network(5, 20, 3, seed);
+    FlowOptions flow;
+    flow.verify_rounds = 0;
+    const FlowResult mapped = run_flow(source, flow);
+    CsaOptions opts;
+    opts.max_states = 1;
+    expect_conservative(mapped.netlist, 5, opts, seed, 16);
+  }
+}
+
+TEST(CsaOracle, PaperTableCircuitsNeverUnderestimated) {
+  std::vector<std::string> circuits;
+  for (const auto& list : {table1_circuits(), table2_circuits(),
+                           table3_circuits(), table4_circuits()}) {
+    for (const std::string& name : list) {
+      if (std::find(circuits.begin(), circuits.end(), name) ==
+          circuits.end()) {
+        circuits.push_back(name);
+      }
+    }
+  }
+  ASSERT_FALSE(circuits.empty());
+  for (const std::string& name : circuits) {
+    const Network source = build_benchmark(name);
+    FlowOptions flow;
+    flow.verify_rounds = 0;
+    const FlowResult mapped = run_flow(source, flow);
+    expect_conservative(mapped.netlist, source.pis().size(), CsaOptions{},
+                        0xC5A0 + circuits.size(), 6);
+  }
+}
+
+}  // namespace
+}  // namespace soidom

@@ -35,6 +35,7 @@ struct FaultCase {
   FlowVariant variant = FlowVariant::kSoiDominoMap;
   bool sequence_aware = false;
   bool exact = false;
+  bool csa = false;
 };
 
 class FaultAtEveryStage : public ::testing::TestWithParam<FaultCase> {};
@@ -48,6 +49,7 @@ TEST_P(FaultAtEveryStage, SurfacesAsDiagnosticWithStage) {
   options.variant = fc.variant;
   options.sequence_aware = fc.sequence_aware;
   options.exact_equivalence = fc.exact;
+  options.csa = fc.csa;
 
   FlowOutcome outcome;
   if (fc.via_file) {
@@ -79,6 +81,8 @@ INSTANTIATE_TEST_SUITE_P(
                   /*sequence_aware=*/true},
         FaultCase{FlowStage::kVerifyStructure, false},
         FaultCase{FlowStage::kLint, false},
+        FaultCase{FlowStage::kCsa, false, FlowVariant::kSoiDominoMap,
+                  false, false, /*csa=*/true},
         FaultCase{FlowStage::kVerifyFunction, false},
         FaultCase{FlowStage::kExact, false, FlowVariant::kSoiDominoMap,
                   false, /*exact=*/true}),

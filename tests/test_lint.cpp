@@ -542,6 +542,111 @@ TEST(LintEmit, SarifRunsMerge) {
   EXPECT_TRUE(json_well_formed(merged)) << merged;
 }
 
+TEST(LintEmit, SarifZeroFindings) {
+  // A clean run is still a complete SARIF log: schema, rule table, and an
+  // explicitly empty results array (CI parsers require the key).
+  const LintReport report = run_lint(simple_netlist(2, true));
+  ASSERT_TRUE(report.clean());
+  const std::string sarif = report.to_sarif();
+  EXPECT_TRUE(json_well_formed(sarif)) << sarif;
+  EXPECT_NE(sarif.find("\"results\":[]"), std::string::npos);
+  EXPECT_NE(sarif.find("\"driver\":{\"name\":\"soidom-lint\""),
+            std::string::npos);
+  EXPECT_EQ(sarif.find("suppressions"), std::string::npos);
+
+  const std::string with_artifact = report.to_sarif("clean.blif");
+  EXPECT_TRUE(json_well_formed(with_artifact)) << with_artifact;
+  EXPECT_NE(with_artifact.find("\"uri\":\"clean.blif\""), std::string::npos);
+}
+
+TEST(LintEmit, SarifAllWaivedFindings) {
+  DominoNetlist nl = simple_netlist(1, true);
+  nl.gates()[0].footed = false;
+  LintOptions options;
+  options.waivers = {"footedness"};
+  const LintReport report = run_lint(nl, options);
+  ASSERT_FALSE(report.findings.empty());
+  for (const Finding& f : report.findings) EXPECT_TRUE(f.waived);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.count(LintSeverity::kInfo), 0);
+  EXPECT_NE(report.summary().find("waived"), std::string::npos);
+
+  const std::string sarif = report.to_sarif();
+  EXPECT_TRUE(json_well_formed(sarif)) << sarif;
+  // Waived results stay in the log, each carrying an accepted external
+  // suppression (SARIF viewers grey them out instead of hiding them).
+  EXPECT_NE(sarif.find("\"ruleId\":\"footedness\""), std::string::npos);
+  EXPECT_NE(
+      sarif.find(
+          R"("suppressions":[{"kind":"external","status":"accepted"}])"),
+      std::string::npos);
+}
+
+TEST(LintEmit, SarifMultiFileRunsKeepStableArtifactOrder) {
+  // Merging per-circuit runs must preserve caller order and stay byte
+  // stable across repeated emission (CI diffs the artifact).
+  DominoNetlist dirty = simple_netlist(1, true);
+  dirty.gates()[0].footed = false;
+  const LintReport a = run_lint(simple_netlist(1, true));
+  const LintReport b = run_lint(dirty);
+  const LintReport c = run_lint(simple_netlist(3, false));
+  auto merge = [&] {
+    return "{\"version\":\"2.1.0\",\"runs\":[" + a.to_sarif_run("a.blif") +
+           "," + b.to_sarif_run("b.blif") + "," + c.to_sarif_run("c.blif") +
+           "]}";
+  };
+  const std::string merged = merge();
+  EXPECT_TRUE(json_well_formed(merged)) << merged;
+  const std::size_t pos_a = merged.find("\"uri\":\"a.blif\"");
+  const std::size_t pos_b = merged.find("\"uri\":\"b.blif\"");
+  const std::size_t pos_c = merged.find("\"uri\":\"c.blif\"");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_c);
+  EXPECT_EQ(merged, merge());  // deterministic re-emission
+}
+
+// --- waivers ---------------------------------------------------------------
+
+TEST(LintWaivers, MatcherHandlesRuleAndQualifiedForms) {
+  Finding f;
+  f.rule = "footedness";
+  f.location.gate = 4;
+  EXPECT_TRUE(waiver_matches("footedness", f));
+  EXPECT_FALSE(waiver_matches("topo-order", f));
+  // Qualified form: substring of the SARIF qualified name.
+  EXPECT_TRUE(waiver_matches("footedness@gate4", f));
+  EXPECT_TRUE(waiver_matches("footedness@netlist/gate4", f));
+  EXPECT_FALSE(waiver_matches("footedness@gate5", f));
+  EXPECT_FALSE(waiver_matches("topo-order@gate4", f));
+}
+
+TEST(LintWaivers, QualifiedWaiverLeavesOtherLocationsLive) {
+  // Two gates with the same defect; waiving one by location must leave
+  // the other counting toward clean().
+  DominoNetlist nl;
+  const std::uint32_t x = nl.add_input({"x", 0, false});
+  for (int g = 0; g < 2; ++g) {
+    DominoGate gate;
+    gate.pdn.set_root(gate.pdn.add_leaf(x));
+    gate.footed = false;
+    nl.add_gate(std::move(gate));
+  }
+  nl.add_output({nl.signal_of_gate(0), "z0", false, -1});
+  nl.add_output({nl.signal_of_gate(1), "z1", false, -1});
+  LintOptions options;
+  options.waivers = {"footedness@gate0"};
+  const LintReport report = run_lint(nl, options);
+  EXPECT_EQ(errors_with_rule(report, "footedness"), 2);  // both still reported
+  EXPECT_EQ(report.count(LintSeverity::kError), 1);      // one counts
+  EXPECT_FALSE(report.clean());
+  int waived = 0;
+  for (const Finding& f : report.findings) waived += f.waived ? 1 : 0;
+  EXPECT_EQ(waived, 1);
+}
+
 // --- verify_structure compatibility shim -----------------------------------
 
 TEST(LintCompat, VerifyStructureRoutesThroughFindings) {
