@@ -1,14 +1,25 @@
-/// Wavefront-mapper performance harness: times the DP at 1, 2 and N
-/// threads (N = hardware concurrency) on large generated and paper-suite
-/// circuits, asserts the mapped netlists are bit-identical across thread
-/// counts, and emits BENCH_mapper.json (schema in DESIGN.md section 8).
+/// Task-graph-mapper performance harness: times the DP at 1, 2 and N
+/// threads (N = max(4, hardware concurrency)) on the paper suite and on
+/// the 100k+-node scale suite (benchgen scale_circuits()), runs a
+/// grain-size ablation, asserts the mapped netlists are bit-identical
+/// across every configuration, and emits BENCH_mapper.json (schema in
+/// DESIGN.md section 8).
 ///
-/// Usage: perf_mapper [output.json]   (default BENCH_mapper.json)
+/// The paper-suite circuits are benchmarked with default MapperOptions —
+/// they sit below serial_cutoff, so they measure the inline serial path a
+/// real user gets (speedup ~= 1.0 by construction).  The scale suite is
+/// where the dependency-counting scheduler is exercised and where the
+/// speedup floors of the CI gate (tools/check_mapper_bench.py) apply.
+///
+/// Usage: perf_mapper [output.json] [--quick] [--full]
+///   --quick  paper suite only (fast local smoke run)
+///   --full   include the ~1M-node stress circuit in the scale suite
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -31,20 +42,37 @@ struct Run {
 
 struct CircuitReport {
   std::string name;
+  std::string set;  ///< "paper" or "scale"
   std::size_t nodes = 0;
   int dp_levels = 0;
+  int dp_tasks = 0;
+  int dp_grain = 0;
   std::size_t candidates_examined = 0;
   std::size_t peak_candidates = 0;
   std::vector<Run> runs;
   bool identical = true;
 };
 
-/// Best-of-k wall time for one thread count; returns the mapping result of
-/// the last repetition so the caller can compare serializations.
-double time_mapping(const UnateResult& unate, int threads, int reps,
-                    MappingResult* out) {
+struct GrainEntry {
+  int grain = 0;
+  double wall_ms = 0.0;
+  int dp_tasks = 0;
+  bool identical = true;
+};
+
+MapperOptions base_options(int threads) {
   MapperOptions opts;
   opts.num_threads = threads;
+  // The identity check is the point of this harness: spawn the requested
+  // workers even above hardware concurrency instead of clamping.
+  opts.oversubscribe = true;
+  return opts;
+}
+
+/// Best-of-k wall time for one configuration; returns the mapping result
+/// of the last repetition so the caller can compare serializations.
+double time_mapping(const UnateResult& unate, const MapperOptions& opts,
+                    int reps, MappingResult* out) {
   double best_ms = 1e300;
   for (int i = 0; i < reps; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -57,17 +85,19 @@ double time_mapping(const UnateResult& unate, int threads, int reps,
   return best_ms;
 }
 
-CircuitReport bench_circuit(const std::string& name, const Network& net,
+CircuitReport bench_circuit(const std::string& name, const char* set,
+                            const Network& net,
                             const std::vector<int>& thread_counts, int reps) {
   CircuitReport rep;
   rep.name = name;
+  rep.set = set;
   const UnateResult unate = make_unate(net);
   rep.nodes = unate.net.size();
 
   std::string reference_dnl;
   for (const int threads : thread_counts) {
     MappingResult r;
-    const double ms = time_mapping(unate, threads, reps, &r);
+    const double ms = time_mapping(unate, base_options(threads), reps, &r);
     const std::string dnl = write_dnl(r.netlist);
     if (threads == thread_counts.front()) {
       reference_dnl = dnl;
@@ -77,16 +107,48 @@ CircuitReport bench_circuit(const std::string& name, const Network& net,
     } else if (dnl != reference_dnl) {
       rep.identical = false;
     }
+    // The scheduler shape of the widest configuration is the interesting
+    // one (serial runs report dp_tasks = 0).
+    rep.dp_tasks = std::max(rep.dp_tasks, r.dp_tasks);
+    rep.dp_grain = std::max(rep.dp_grain, r.dp_grain);
     Run run;
     run.threads = threads;
     run.wall_ms = ms;
     run.nodes_per_sec =
         ms > 0.0 ? static_cast<double>(rep.nodes) / (ms / 1000.0) : 0.0;
     rep.runs.push_back(run);
-    std::printf("  %-12s %2d thread(s): %8.2f ms  (%.0f nodes/s)\n",
+    std::printf("  %-14s %2d thread(s): %9.2f ms  (%.0f nodes/s)\n",
                 name.c_str(), threads, ms, run.nodes_per_sec);
   }
   return rep;
+}
+
+/// Per-grain ablation on one scale circuit at the widest thread count.
+std::vector<GrainEntry> bench_grains(const Network& net, int threads) {
+  std::vector<GrainEntry> out;
+  const UnateResult unate = make_unate(net);
+  std::string reference_dnl;
+  for (const int grain : {0, 1, 16, 128, 1024, 4096}) {
+    MapperOptions opts = base_options(threads);
+    opts.task_grain = grain;
+    opts.serial_cutoff = 0;  // keep even grain >= node count on the scheduler
+    MappingResult r;
+    GrainEntry e;
+    e.grain = grain;
+    e.wall_ms = time_mapping(unate, opts, 1, &r);
+    e.dp_tasks = r.dp_tasks;
+    const std::string dnl = write_dnl(r.netlist);
+    if (reference_dnl.empty()) {
+      reference_dnl = dnl;
+    } else {
+      e.identical = dnl == reference_dnl;
+    }
+    out.push_back(e);
+    std::printf("  grain %4d (auto=%d): %9.2f ms, %d tasks%s\n", grain,
+                grain == 0 ? 1 : 0, e.wall_ms, e.dp_tasks,
+                e.identical ? "" : "  DIVERGENT");
+  }
+  return out;
 }
 
 double speedup_at(const CircuitReport& rep, int threads) {
@@ -98,34 +160,52 @@ double speedup_at(const CircuitReport& rep, int threads) {
   return at > 0.0 ? base / at : 0.0;
 }
 
+double geomean_speedup(const std::vector<CircuitReport>& reports,
+                       const char* set, int threads) {
+  double log_sum = 0.0;
+  int n = 0;
+  for (const CircuitReport& rep : reports) {
+    if (rep.set != set) continue;
+    log_sum += std::log(std::max(speedup_at(rep, threads), 1e-9));
+    ++n;
+  }
+  return n > 0 ? std::exp(log_sum / n) : 0.0;
+}
+
 void write_json(const std::string& path,
                 const std::vector<CircuitReport>& reports,
-                const std::vector<int>& thread_counts) {
+                const std::vector<int>& thread_counts,
+                const std::string& grain_circuit,
+                const std::vector<GrainEntry>& grains) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "FATAL: cannot open %s\n", path.c_str());
     std::abort();
   }
   const int n_threads = thread_counts.back();
-  std::fprintf(f, "{\n  \"bench\": \"mapper_wavefront\",\n");
+  std::fprintf(f, "{\n  \"bench\": \"mapper_taskgraph\",\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hardware_thread_count());
+  std::fprintf(f, "  \"hardware_concurrency_detected\": %s,\n",
+               hardware_concurrency_detected() ? "true" : "false");
   std::fprintf(f, "  \"thread_counts\": [");
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     std::fprintf(f, "%s%d", i ? ", " : "", thread_counts[i]);
   }
   std::fprintf(f, "],\n  \"circuits\": [\n");
-  double log_sum = 0.0;
   bool all_identical = true;
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const CircuitReport& rep = reports[i];
     all_identical = all_identical && rep.identical;
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"nodes\": %zu, \"dp_levels\": %d,\n"
-                 "     \"candidates_examined\": %zu, \"peak_candidates\": %zu,"
-                 " \"identical\": %s,\n     \"runs\": [",
-                 rep.name.c_str(), rep.nodes, rep.dp_levels,
-                 rep.candidates_examined, rep.peak_candidates,
-                 rep.identical ? "true" : "false");
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"set\": \"%s\", \"nodes\": %zu,"
+        " \"dp_levels\": %d,\n"
+        "     \"dp_tasks\": %d, \"dp_grain\": %d,"
+        " \"candidates_examined\": %zu, \"peak_candidates\": %zu,"
+        " \"identical\": %s,\n     \"runs\": [",
+        rep.name.c_str(), rep.set.c_str(), rep.nodes, rep.dp_levels,
+        rep.dp_tasks, rep.dp_grain, rep.candidates_examined,
+        rep.peak_candidates, rep.identical ? "true" : "false");
     for (std::size_t j = 0; j < rep.runs.size(); ++j) {
       const Run& r = rep.runs[j];
       std::fprintf(f,
@@ -136,11 +216,35 @@ void write_json(const std::string& path,
     std::fprintf(f, "],\n     \"speedup_2t\": %.3f, \"speedup_nt\": %.3f}%s\n",
                  speedup_at(rep, 2), speedup_at(rep, n_threads),
                  i + 1 < reports.size() ? "," : "");
-    log_sum += std::log(std::max(speedup_at(rep, n_threads), 1e-9));
   }
-  std::fprintf(f, "  ],\n  \"summary\": {\"geomean_speedup_nt\": %.3f,"
+  std::fprintf(f, "  ],\n");
+  if (!grains.empty()) {
+    std::fprintf(f,
+                 "  \"grain_ablation\": {\"circuit\": \"%s\","
+                 " \"threads\": %d, \"entries\": [\n",
+                 grain_circuit.c_str(), n_threads);
+    for (std::size_t i = 0; i < grains.size(); ++i) {
+      const GrainEntry& e = grains[i];
+      all_identical = all_identical && e.identical;
+      std::fprintf(f,
+                   "    {\"grain\": %d, \"wall_ms\": %.3f, \"dp_tasks\": %d,"
+                   " \"identical\": %s}%s\n",
+                   e.grain, e.wall_ms, e.dp_tasks,
+                   e.identical ? "true" : "false",
+                   i + 1 < grains.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]},\n");
+  }
+  std::fprintf(f,
+               "  \"summary\": {\"geomean_speedup_2t_paper\": %.3f,"
+               " \"geomean_speedup_nt_paper\": %.3f,\n"
+               "              \"geomean_speedup_2t_scale\": %.3f,"
+               " \"geomean_speedup_nt_scale\": %.3f,"
                " \"all_identical\": %s}\n}\n",
-               std::exp(log_sum / static_cast<double>(reports.size())),
+               geomean_speedup(reports, "paper", 2),
+               geomean_speedup(reports, "paper", n_threads),
+               geomean_speedup(reports, "scale", 2),
+               geomean_speedup(reports, "scale", n_threads),
                all_identical ? "true" : "false");
   std::fclose(f);
 }
@@ -148,37 +252,70 @@ void write_json(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out = argc > 1 ? argv[1] : "BENCH_mapper.json";
-  // Always measure 1/2/N even when oversubscribed: the identity check is
-  // meaningful regardless, and hardware_concurrency in the JSON tells the
-  // reader how to interpret the speedups.
+  std::string out = "BENCH_mapper.json";
+  bool quick = false;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      out = argv[i];
+    }
+  }
+
+  // Always measure 1/2/N even when that oversubscribes the machine: the
+  // identity check is meaningful regardless, and the JSON's
+  // hardware_concurrency(/ _detected) fields tell the reader — and the CI
+  // gate — how to interpret the speedups.
   const int hw = static_cast<int>(hardware_thread_count());
   std::vector<int> thread_counts = {1, 2, std::max(4, hw)};
   thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
                       thread_counts.end());
 
-  std::printf("perf_mapper: hardware_concurrency=%d, thread counts:", hw);
+  std::printf("perf_mapper: hardware_concurrency=%d (%s), thread counts:", hw,
+              hardware_concurrency_detected() ? "detected"
+                                              : "UNDETECTED, fallback 1");
   for (const int t : thread_counts) std::printf(" %d", t);
   std::printf("\n");
 
-  constexpr int kReps = 3;
+  constexpr int kPaperReps = 3;
   std::vector<CircuitReport> reports;
-  // Large generated circuits: wide DP levels, where the wavefront pays off.
-  reports.push_back(bench_circuit("spn_48x6", gen_spn(48, 6, 0x5EED),
-                                  thread_counts, kReps));
-  reports.push_back(bench_circuit("mult16", gen_multiplier(16), thread_counts,
-                                  kReps));
+  // Mid-size generated circuits (historical rows of the trajectory; these
+  // still sit below serial_cutoff and so time the inline path).
+  reports.push_back(bench_circuit("spn_48x6", "paper", gen_spn(48, 6, 0x5EED),
+                                  thread_counts, kPaperReps));
+  reports.push_back(bench_circuit("mult16", "paper", gen_multiplier(16),
+                                  thread_counts, kPaperReps));
   // Paper-suite circuits (largest of the registered set).
   for (const char* name : {"c5315", "c7552", "k2"}) {
-    reports.push_back(
-        bench_circuit(name, build_benchmark(name), thread_counts, kReps));
+    reports.push_back(bench_circuit(name, "paper", build_benchmark(name),
+                                    thread_counts, kPaperReps));
   }
 
-  write_json(out, reports, thread_counts);
+  std::string grain_circuit;
+  std::vector<GrainEntry> grains;
+  if (!quick) {
+    // Scale suite: 100k+-node circuits on the task-graph scheduler.
+    for (const std::string& name : scale_circuits()) {
+      if (name == "xl_dag_1m" && !full) continue;  // stress case: --full only
+      reports.push_back(bench_circuit(name, "scale", build_benchmark(name),
+                                      thread_counts, 1));
+    }
+    grain_circuit = "xl_dag_wide";
+    std::printf("grain ablation on %s at %d threads:\n", grain_circuit.c_str(),
+                thread_counts.back());
+    grains = bench_grains(build_benchmark(grain_circuit),
+                          thread_counts.back());
+  }
+
+  write_json(out, reports, thread_counts, grain_circuit, grains);
 
   bool ok = true;
   for (const CircuitReport& rep : reports) ok = ok && rep.identical;
-  std::printf("wrote %s; netlists %s across thread counts\n", out.c_str(),
-              ok ? "IDENTICAL" : "DIVERGENT");
+  for (const GrainEntry& e : grains) ok = ok && e.identical;
+  std::printf("wrote %s; netlists %s across thread counts and grains\n",
+              out.c_str(), ok ? "IDENTICAL" : "DIVERGENT");
   return ok ? 0 : 1;
 }

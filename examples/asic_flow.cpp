@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "soidom/base/fileio.hpp"
+#include "soidom/base/strings.hpp"
 #include "soidom/batch/runner.hpp"
 #include "soidom/batch/signals.hpp"
 #include "soidom/benchgen/registry.hpp"
@@ -193,7 +194,12 @@ int main(int argc, char** argv) {
       want_csa = true;
       csa_margin = std::atof(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      num_threads = std::atoi(argv[i] + 10);
+      // Strict parse: atoi would turn "--threads=max" into 0 ("auto").
+      if (!parse_int_strict(argv[i] + 10, &num_threads)) {
+        std::fprintf(stderr, "error: --threads needs an integer, got '%s'\n",
+                     argv[i] + 10);
+        return 64;
+      }
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch_mode = true;
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {

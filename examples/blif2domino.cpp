@@ -45,6 +45,7 @@
 #include <string>
 
 #include "soidom/base/fileio.hpp"
+#include "soidom/base/strings.hpp"
 #include "soidom/batch/signals.hpp"
 #include "soidom/core/flow.hpp"
 #include "soidom/domino/export.hpp"
@@ -112,7 +113,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--k=", 0) == 0) {
       options.mapper.clock_weight = std::atof(arg.c_str() + 4);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      options.mapper.num_threads = std::atoi(arg.c_str() + 10);
+      // Strict parse: atoi would turn "--threads=max" into 0 ("auto").
+      if (!parse_int_strict(arg.substr(10), &options.mapper.num_threads)) {
+        std::fprintf(stderr, "error: --threads needs an integer, got '%s'\n",
+                     arg.c_str() + 10);
+        usage(argv[0]);
+      }
     } else if (arg == "--minimize") {
       options.decompose.minimize_covers = true;
     } else if (arg == "--seq-aware") {

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "soidom/base/strings.hpp"
 #include "soidom/batch/runner.hpp"
 #include "soidom/batch/signals.hpp"
 #include "soidom/benchgen/registry.hpp"
@@ -145,7 +146,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--hmax=", 0) == 0) {
       options.flow.mapper.max_height = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      options.flow.mapper.num_threads = std::atoi(arg.c_str() + 10);
+      // Strict parse: atoi would turn "--threads=max" into 0 ("auto").
+      if (!parse_int_strict(arg.substr(10),
+                            &options.flow.mapper.num_threads)) {
+        std::fprintf(stderr, "error: --threads needs an integer, got '%s'\n",
+                     arg.c_str() + 10);
+        usage(argv[0]);
+      }
     } else if (arg == "--seq-aware") {
       options.flow.sequence_aware = true;
     } else if (arg == "--exact") {

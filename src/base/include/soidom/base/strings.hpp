@@ -33,4 +33,11 @@ std::string json_unescape(std::string_view text);
 /// Format a ratio as a percentage with two decimals, e.g. "53.00".
 std::string percent(double numerator, double denominator);
 
+/// Strict decimal-integer parse for CLI option values: the whole of `text`
+/// must be a base-10 integer fitting in int (optional leading '-').
+/// Returns false on empty input, trailing junk, or overflow — unlike
+/// std::atoi, which silently yields 0 for garbage (so "--threads=max"
+/// would silently mean "auto" instead of failing).
+bool parse_int_strict(std::string_view text, int* out);
+
 }  // namespace soidom

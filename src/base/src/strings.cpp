@@ -119,4 +119,23 @@ std::string percent(double numerator, double denominator) {
   return format("%.2f", 100.0 * numerator / denominator);
 }
 
+bool parse_int_strict(std::string_view text, int* out) {
+  if (text.empty()) return false;
+  std::size_t i = 0;
+  const bool negative = text[0] == '-';
+  if (negative) {
+    if (text.size() == 1) return false;
+    i = 1;
+  }
+  long long value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > 0x7fffffffLL + (negative ? 1 : 0)) return false;
+  }
+  *out = static_cast<int>(negative ? -value : value);
+  return true;
+}
+
 }  // namespace soidom

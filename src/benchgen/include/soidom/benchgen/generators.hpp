@@ -64,6 +64,20 @@ Network gen_two_level(int inputs, int cubes, int outputs, int or_denom,
 /// k2, ...).
 Network gen_random_dag(int pis, int gates, int pos, std::uint64_t seed);
 
+/// Seeded random layered DAG with *controlled* level width and depth:
+/// `depth` layers of `width` AND/OR nodes each, every node combining two
+/// distinct signals drawn mostly from the immediately previous layer
+/// (locality `back_weight` in [1, 100]: the percent chance a fanin comes
+/// from the previous layer rather than any earlier one — 100 gives a
+/// strict layer pipeline, lower values long skip edges).  Inverted
+/// literals appear with 1/8 probability, so the unate conversion sees a
+/// realistic binate mix.  Scale-bench workhorse: node count = width x
+/// depth by construction (before hashing / dead-node removal), with level
+/// width ~= `width` — wide-shallow stresses scheduler throughput,
+/// narrow-deep stresses the dependency critical path.
+Network gen_layered_dag(int width, int depth, int back_weight,
+                        std::uint64_t seed);
+
 /// CORDIC-like iterative shift-add datapath: `stages` stages over a
 /// `width`-bit x/y pair (cordic family).
 Network gen_cordic(int width, int stages);

@@ -384,8 +384,47 @@ Network gen_random_dag(int pis, int gates, int pos, std::uint64_t seed) {
   return remove_dead_nodes(std::move(b).build());
 }
 
+Network gen_layered_dag(int width, int depth, int back_weight,
+                        std::uint64_t seed) {
+  SOIDOM_REQUIRE(width >= 2 && depth >= 1,
+                 "gen_layered_dag: need width >= 2 and depth >= 1");
+  SOIDOM_REQUIRE(back_weight >= 1 && back_weight <= 100,
+                 "gen_layered_dag: back_weight must be in [1, 100]");
+  Rng rng(seed);
+  NetworkBuilder b;
+  // One PI column feeds layer 0; all deeper layers are gate-only, so the
+  // level profile is controlled by (width, depth) alone.
+  std::vector<NodeId> prev = add_pis(b, "x", width);
+  std::vector<NodeId> all = prev;
+  for (int layer = 0; layer < depth; ++layer) {
+    std::vector<NodeId> cur;
+    cur.reserve(static_cast<std::size_t>(width));
+    for (int g = 0; g < width; ++g) {
+      auto pick = [&]() -> NodeId {
+        if (rng.next_below(100) < static_cast<std::uint64_t>(back_weight)) {
+          return prev[static_cast<std::size_t>(rng.next_below(prev.size()))];
+        }
+        return all[static_cast<std::size_t>(rng.next_below(all.size()))];
+      };
+      NodeId a = pick();
+      NodeId c = pick();
+      for (int tries = 0; a == c && tries < 4; ++tries) c = pick();
+      if (rng.chance(1, 8)) a = b.add_inv(a);
+      if (rng.chance(1, 8)) c = b.add_inv(c);
+      cur.push_back(rng.chance(1, 2) ? b.add_and(a, c) : b.add_or(a, c));
+    }
+    all.insert(all.end(), cur.begin(), cur.end());
+    prev = std::move(cur);
+  }
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    b.add_output(prev[i], "z" + std::to_string(i));
+  }
+  return remove_dead_nodes(std::move(b).build());
+}
+
 Network gen_multiplier(int bits) {
-  SOIDOM_REQUIRE(bits >= 2 && bits <= 16, "gen_multiplier: bits out of range");
+  SOIDOM_REQUIRE(bits >= 2 && bits <= 128,
+                 "gen_multiplier: bits out of range");
   NetworkBuilder b;
   const auto x = add_pis(b, "a", bits);
   const auto y = add_pis(b, "b", bits);

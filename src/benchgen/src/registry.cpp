@@ -63,6 +63,18 @@ constexpr Entry kEntries[] = {
     {"c7552", [] { return gen_random_dag(207, 3500, 108, 0x7552); }},
 };
 
+/// Scale suite: 100k–1M-node scheduler benchmarks (docs/BENCHGEN.md).
+/// Kept out of kEntries so benchmark_names() — which the test suites
+/// sweep with full flows and golden-stat pins — stays the classic set;
+/// build_benchmark() still resolves these by name.
+constexpr Entry kScaleEntries[] = {
+    {"xl_mult64", [] { return gen_multiplier(64); }},
+    {"xl_spn_384x16", [] { return gen_spn(384, 16, 0x5CA1E); }},
+    {"xl_dag_wide", [] { return gen_layered_dag(2048, 56, 90, 0x31DE); }},
+    {"xl_dag_deep", [] { return gen_layered_dag(96, 1200, 85, 0xDEE9); }},
+    {"xl_dag_1m", [] { return gen_layered_dag(2048, 500, 90, 0x1111111); }},
+};
+
 }  // namespace
 
 std::vector<std::string> benchmark_names() {
@@ -75,11 +87,17 @@ bool is_known_benchmark(std::string_view name) {
   for (const Entry& e : kEntries) {
     if (name == e.name) return true;
   }
+  for (const Entry& e : kScaleEntries) {
+    if (name == e.name) return true;
+  }
   return false;
 }
 
 Network build_benchmark(std::string_view name) {
   for (const Entry& e : kEntries) {
+    if (name == e.name) return e.build();
+  }
+  for (const Entry& e : kScaleEntries) {
     if (name == e.name) return e.build();
   }
   throw Error(format("unknown benchmark circuit '%s'",
@@ -103,6 +121,12 @@ std::vector<std::string> table3_circuits() {
           "c8",    "f51m", "9symml", "apex7", "x1",    "c432",  "i6",
           "c1908", "t481", "c499",  "c1355",  "dalu",  "k2",    "apex6",
           "rot",   "c2670", "c5315", "c3540", "des",   "c7552"};
+}
+
+std::vector<std::string> scale_circuits() {
+  std::vector<std::string> out;
+  for (const Entry& e : kScaleEntries) out.emplace_back(e.name);
+  return out;
 }
 
 std::vector<std::string> table4_circuits() {

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "soidom/base/rng.hpp"
 #include "soidom/guard/diagnostic.hpp"
@@ -24,6 +26,11 @@ namespace soidom {
 
 /// Seeded, probe-point-per-stage fault source (same determinism idiom as
 /// base/rng.hpp: a given configuration fails identically on every run).
+///
+/// Probes may fire concurrently: the task-graph mapper re-installs the
+/// caller's injector on its pool workers, so hit counting is atomic and
+/// the randomized stream is mutex-guarded.  Copying (factory returns,
+/// test fixtures) is not synchronized against concurrent probes.
 class FaultInjector {
  public:
   /// Fail the `hit`-th time (1-based) the probe of `stage` is reached.
@@ -33,12 +40,16 @@ class FaultInjector {
   static FaultInjector random(std::uint64_t seed, std::uint64_t numer,
                               std::uint64_t denom);
 
+  FaultInjector(const FaultInjector& other);
+  FaultInjector& operator=(const FaultInjector& other);
+
   /// Called by probes; advances hit counters / the random stream.
   bool should_fail(FlowStage stage);
 
   /// How often the probe of `stage` has been reached (test introspection).
   int hits(FlowStage stage) const {
-    return hits_[static_cast<std::size_t>(stage)];
+    return hits_[static_cast<std::size_t>(stage)].load(
+        std::memory_order_relaxed);
   }
 
  private:
@@ -50,7 +61,8 @@ class FaultInjector {
   Rng rng_{0};
   std::uint64_t numer_ = 0;
   std::uint64_t denom_ = 1;
-  std::array<int, kFlowStageCount> hits_{};
+  std::mutex rng_mutex_;
+  std::array<std::atomic<int>, kFlowStageCount> hits_{};
 };
 
 /// RAII installation for the current thread (nestable).
@@ -64,6 +76,13 @@ class FaultScope {
  private:
   FaultInjector* previous_;
 };
+
+/// The injector installed for the current thread (innermost FaultScope),
+/// or nullptr.  Parallel schedulers capture this on the submitting thread
+/// and re-install it on their workers with a FaultScope, so probes inside
+/// tasks observe the caller's injector (thread-local storage does not
+/// propagate into pool threads by itself).
+FaultInjector* current_fault_injector() noexcept;
 
 namespace detail {
 /// Throws GuardError(kFaultInjected, stage) when the installed injector

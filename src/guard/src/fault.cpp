@@ -26,9 +26,43 @@ FaultInjector FaultInjector::random(std::uint64_t seed, std::uint64_t numer,
   return f;
 }
 
+FaultInjector::FaultInjector(const FaultInjector& other)
+    : target_(other.target_),
+      target_hit_(other.target_hit_),
+      randomized_(other.randomized_),
+      rng_(other.rng_),
+      numer_(other.numer_),
+      denom_(other.denom_) {
+  for (std::size_t s = 0; s < kFlowStageCount; ++s) {
+    hits_[s].store(other.hits_[s].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+}
+
+FaultInjector& FaultInjector::operator=(const FaultInjector& other) {
+  if (this == &other) return *this;
+  target_ = other.target_;
+  target_hit_ = other.target_hit_;
+  randomized_ = other.randomized_;
+  rng_ = other.rng_;
+  numer_ = other.numer_;
+  denom_ = other.denom_;
+  for (std::size_t s = 0; s < kFlowStageCount; ++s) {
+    hits_[s].store(other.hits_[s].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 bool FaultInjector::should_fail(FlowStage stage) {
-  const int hit = ++hits_[static_cast<std::size_t>(stage)];
-  if (randomized_) return rng_.chance(numer_, denom_);
+  const int hit =
+      hits_[static_cast<std::size_t>(stage)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  if (randomized_) {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    return rng_.chance(numer_, denom_);
+  }
   return stage == target_ && hit == target_hit_;
 }
 
@@ -37,6 +71,8 @@ FaultScope::FaultScope(FaultInjector& injector) : previous_(g_injector) {
 }
 
 FaultScope::~FaultScope() { g_injector = previous_; }
+
+FaultInjector* current_fault_injector() noexcept { return g_injector; }
 
 namespace detail {
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "soidom/domino/netlist.hpp"
+#include "soidom/guard/diagnostic.hpp"
 #include "soidom/mapper/options.hpp"
 #include "soidom/network/network.hpp"
 #include "soidom/unate/unate.hpp"
@@ -67,14 +68,26 @@ struct MappingResult {
   /// DP-predicted weighted cost of the whole implementation.
   std::int64_t predicted_cost = 0;
 
+  /// Non-fatal conditions (currently: a num_threads request clamped to
+  /// hardware concurrency).  The flow facade copies these into
+  /// FlowOutcome::warnings.
+  std::vector<Diagnostic> warnings;
+
   // --- DP effort counters (perf trajectory; see bench/perf_mapper) ------
   /// Raw candidates examined before Pareto pruning.
   std::size_t candidates_examined = 0;
-  /// Candidates retained in the DP arena (peak == final: the arena only
-  /// grows).
+  /// Candidates retained across all per-node survivor sets and leaves
+  /// (peak == final: survivor sets only grow).
   std::size_t candidates_retained = 0;
-  /// Topological wavefronts the DP ran (parallelism unit count).
+  /// Distinct topological levels among mapped nodes (depth of the DP).
   int dp_levels = 0;
+  /// Scheduler tasks the DP graph was chunked into (0 = inline serial
+  /// path: below MapperOptions::serial_cutoff or num_threads == 1).
+  int dp_tasks = 0;
+  /// Effective fanout-cone chunking grain (nodes per task target).
+  int dp_grain = 0;
+  /// Worker threads actually used after auto-resolution and clamping.
+  int threads_used = 1;
 };
 
 /// Run the mapper.  Throws soidom::Error when the unate network is not

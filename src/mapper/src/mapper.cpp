@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <tuple>
 
 #include "soidom/base/contracts.hpp"
@@ -14,10 +15,30 @@
 namespace soidom {
 namespace {
 
+/// A schedule-independent reference to one DP candidate: the unate node
+/// that owns it plus its position in that node's canonical candidate
+/// sequence (survivors in (W, H, rank) order, then the gate-leaf tuple;
+/// a PI node owns exactly its input-leaf candidate at local 0).
+///
+/// The total order (level, node, local) over these references reproduces
+/// the append order of the old level-synchronous global arena exactly, so
+/// every tie-break that used to compare arena indices compares reference
+/// keys instead and realizes the identical netlist — without any merge
+/// barrier assigning indices.
+struct CandRef {
+  static constexpr std::uint32_t kNullNode = 0xffffffffu;
+
+  std::uint32_t node = kNullNode;
+  std::uint32_t local = 0;
+
+  bool valid() const { return node != kNullNode; }
+  friend bool operator==(CandRef, CandRef) = default;
+};
+
 /// A DP candidate: one partial pulldown structure.  See mapper.hpp for the
-/// field semantics.  Candidates live in a per-run arena and reference their
-/// construction children by arena index, so realization can rebuild the
-/// exact series/parallel tree the DP priced.
+/// field semantics.  Candidates live in per-node survivor sets and
+/// reference their construction children by CandRef, so realization can
+/// rebuild the exact series/parallel tree the DP priced.
 struct Cand {
   enum class Op : std::uint8_t { kInputLeaf, kGateLeaf, kSeries, kParallel };
 
@@ -31,22 +52,25 @@ struct Cand {
   std::uint16_t p_above = 0;
   std::uint16_t disch = 0;  ///< discharge transistors committed in this PDN
   std::int64_t committed = 0;
-  /// kInputLeaf: netlist input signal; kGateLeaf: unate node id;
   /// kSeries: a = TOP child, b = BOTTOM child; kParallel: the two branches.
-  std::uint32_t a = 0;
-  std::uint32_t b = 0;
+  CandRef a;
+  CandRef b;
+  /// kInputLeaf: netlist input signal; kGateLeaf: unate node id.
+  std::uint32_t leaf = 0;
 
   int p_total() const { return p_bot + p_above; }
 };
 
-/// The DP runs as a *wavefront*: nodes are grouped by topological level and
-/// every node of one level is mapped concurrently (its fanins live in
-/// strictly earlier levels, so the shared arena is read-only during a
-/// level).  Each worker appends its nodes' surviving candidates to a
-/// per-worker output buffer and records a NodeDecision; after the level
-/// joins, the main thread merges buffers into the global arena in node-id
-/// order.  The merged arena — and with it every downstream tie-break — is
-/// therefore bit-identical for every thread count, including 1.
+/// The DP runs over a *dependency-counting task graph*: a node's tuple set
+/// depends only on its two fanins, so nodes are coarsened into
+/// fanout-cone chunks, every chunk carries an atomic unresolved-fanin
+/// counter, and a chunk is executed the moment its counter hits zero —
+/// there is no barrier between topological levels (ThreadPool::run_graph,
+/// a work-stealing scheduler).  Each node's surviving candidates are
+/// written into its own slot; because candidate cross-references are
+/// schedule-independent CandRef keys, the result is bit-identical for
+/// every thread count, grain size, and stealing schedule — including the
+/// inline serial path taken below MapperOptions::serial_cutoff.
 class MapperImpl {
  public:
   MapperImpl(const UnateResult& unate, const MapperOptions& opts)
@@ -70,11 +94,13 @@ class MapperImpl {
     dp_done_ = true;
     guard_ = current_guard();
     fanout_ = net_.fanout_counts();
-    node_cands_.resize(net_.size());
-    gate_cand_.assign(net_.size(), kNoCand);
-    gate_cand2_.assign(net_.size(), kNoCand);
-    gate_leaf_cand_.assign(net_.size(), kNoCand);
-    pi_leaf_cand_.assign(net_.size(), kNoCand);
+    level_ = net_.levels();
+    survivors_.resize(net_.size());
+    gate_leaf_.resize(net_.size());
+    pi_leaf_.resize(net_.size());
+    gate_best_local_.assign(net_.size(), -1);
+    gate_complex_a_.assign(net_.size(), CandRef{});
+    gate_complex_b_.assign(net_.size(), CandRef{});
     gate_cost_.assign(net_.size(), 0);
     gate_level_.assign(net_.size(), 0);
     input_signal_.assign(net_.size(), 0);
@@ -101,57 +127,75 @@ class MapperImpl {
       input_signal_[net_.pis()[j].value] = sig;
     }
 
-    // Wavefront 0: primary-input leaf candidates, in id order.
+    // Primary-input leaf candidates, in id order.
+    std::size_t num_pi_leaves = 0;
     for (std::uint32_t i = 2; i < net_.size(); ++i) {
       if (net_.kind(NodeId{i}) != NodeKind::kPi) continue;
       Cand leaf;
       leaf.op = Cand::Op::kInputLeaf;
-      leaf.a = input_signal_[i];
+      leaf.leaf = input_signal_[i];
       leaf.committed = kCostUnitsPerTransistor;
       leaf.has_pi = true;
-      pi_leaf_cand_[i] = push_cand(leaf);
+      pi_leaf_[i] = leaf;
+      ++num_pi_leaves;
     }
 
-    // Levelize the AND/OR nodes; ids within a wave stay ascending.
-    const std::vector<int> level = net_.levels();
-    std::vector<std::vector<std::uint32_t>> waves;
-    std::size_t widest = 1;
+    // AND/OR nodes in id order (ids are a topological order: every fanin
+    // has a smaller id than its fanout).
+    std::vector<std::uint32_t> order;
+    int max_level = 0;
     for (std::uint32_t i = 2; i < net_.size(); ++i) {
       const NodeKind kind = net_.kind(NodeId{i});
       if (kind != NodeKind::kAnd && kind != NodeKind::kOr) continue;
-      const auto l = static_cast<std::size_t>(level[i]);
-      if (waves.size() <= l) waves.resize(l + 1);
-      waves[l].push_back(i);
-      widest = std::max(widest, waves[l].size());
+      order.push_back(i);
+      max_level = std::max(max_level, level_[i]);
+    }
+    {  // dp_levels: distinct topological levels among mapped nodes.
+      std::vector<char> seen(static_cast<std::size_t>(max_level) + 1, 0);
+      for (const std::uint32_t i : order) seen[level_[i]] = 1;
+      dp_levels_ = static_cast<int>(std::count(seen.begin(), seen.end(), 1));
     }
 
+    // Resolve the worker count; clamp oversubscribed requests with a
+    // structured warning unless the caller opted into oversubscription.
+    const unsigned hw = hardware_thread_count();
     unsigned num_threads = opts_.num_threads == 0
-                               ? hardware_thread_count()
+                               ? hw
                                : static_cast<unsigned>(opts_.num_threads);
-    // More workers than the widest wave can never help.
-    num_threads = static_cast<unsigned>(
-        std::min<std::size_t>(num_threads, widest));
-    ThreadPool pool(num_threads);
-    scratch_.resize(pool.size());
-    for (Scratch& s : scratch_) {
-      s.cells.resize(static_cast<std::size_t>(grid_wmax_) * grid_hmax_);
+    if (num_threads > hw && !opts_.oversubscribe) {
+      warnings_.push_back(Diagnostic{
+          ErrorCode::kInvalidOptions, current_stage_or(FlowStage::kMap),
+          format("MapperOptions.num_threads = %u exceeds hardware "
+                 "concurrency %u; clamped to %u (results are identical at "
+                 "any thread count; set MapperOptions::oversubscribe to "
+                 "spawn the requested workers anyway)",
+                 num_threads, hw, hw),
+          {}});
+      num_threads = hw;
     }
-    worker_out_.resize(pool.size());
-    decision_.resize(net_.size());
 
-    for (const std::vector<std::uint32_t>& wave : waves) {
-      if (wave.empty()) continue;
-      ++dp_levels_;
-      guard_checkpoint();  // main-thread deadline / cancellation per level
-      for (std::vector<Cand>& out : worker_out_) out.clear();
-      pool.run(wave.size(), [&](std::size_t item, unsigned worker) {
-        process_wave_node(NodeId{wave[item]}, worker);
-      });
-      merge_level(wave);
+    const bool serial =
+        num_threads <= 1 ||
+        (opts_.serial_cutoff > 0 &&
+         order.size() < static_cast<std::size_t>(opts_.serial_cutoff));
+    if (serial) {
+      threads_used_ = 1;
+      scratch_.resize(1);
+      prepare_scratch();
+      std::size_t examined = 0;
+      for (const std::uint32_t id : order) {
+        process_node(NodeId{id}, 0, &examined);
+      }
+      candidates_examined_ = examined;
+    } else {
+      run_dp_graph(order, num_threads);
     }
     scratch_.clear();
-    worker_out_.clear();
-    decision_.clear();
+
+    candidates_retained_ = num_pi_leaves;
+    for (const std::uint32_t id : order) {
+      candidates_retained_ += survivors_[id].size() + 1;  // + gate leaf
+    }
   }
 
   MappingResult run() {
@@ -187,8 +231,12 @@ class MapperImpl {
     result_.dp_analyzer_mismatches = mismatches_;
     result_.predicted_cost = realized_weighted_cost();
     result_.candidates_examined = candidates_examined_;
-    result_.candidates_retained = arena_.size();
+    result_.candidates_retained = candidates_retained_;
     result_.dp_levels = dp_levels_;
+    result_.dp_tasks = dp_tasks_;
+    result_.dp_grain = dp_grain_;
+    result_.threads_used = threads_used_;
+    result_.warnings = warnings_;
     result_.netlist = std::move(netlist_);
     return result_;
   }
@@ -199,10 +247,10 @@ class MapperImpl {
                        net_.kind(node) == NodeKind::kOr,
                    "tuples_of: node is not an AND/OR gate");
     std::vector<TupleInfo> out;
-    for (const std::uint32_t ci : node_cands_[node.value]) {
-      out.push_back(info_of(arena_[ci]));
+    for (const Cand& c : survivors_[node.value]) {
+      out.push_back(info_of(c));
     }
-    out.push_back(info_of(arena_[gate_leaf_cand_[node.value]]));
+    out.push_back(info_of(gate_leaf_[node.value]));
     // The gate-leaf tuple's committed includes the +1 next-level
     // transistor; report the bare gate cost for the {1,1} entry instead.
     out.back().committed = gate_cost_[node.value];
@@ -215,13 +263,12 @@ class MapperImpl {
 
   std::int64_t gate_cost_of(NodeId node) {
     run_dp();
-    SOIDOM_REQUIRE(gate_cand_[node.value] != kNoCand,
+    SOIDOM_REQUIRE(gate_best_local_[node.value] >= 0,
                    "gate_cost_of: node forms no gate");
     return gate_cost_[node.value];
   }
 
  private:
-  static constexpr std::uint32_t kNoCand = 0xffffffffu;
   static constexpr std::uint32_t kNoSignal = 0xffffffffu;
 
   static TupleInfo info_of(const Cand& c) {
@@ -237,6 +284,32 @@ class MapperImpl {
     t.disch_committed = c.disch;
     return t;
   }
+
+  // --- candidate references ----------------------------------------------
+
+  const Cand& deref(CandRef r) const {
+    SOIDOM_ASSERT(r.valid());
+    if (net_.kind(NodeId{r.node}) == NodeKind::kPi) return pi_leaf_[r.node];
+    const std::vector<Cand>& s = survivors_[r.node];
+    return r.local < s.size() ? s[r.local] : gate_leaf_[r.node];
+  }
+
+  CandRef gate_leaf_ref(std::uint32_t node) const {
+    return CandRef{node, static_cast<std::uint32_t>(survivors_[node].size())};
+  }
+
+  /// Three-way compare in the legacy arena-append order: level-major,
+  /// then node id, then position in the node's candidate sequence.
+  int ref_cmp(CandRef x, CandRef y) const {
+    const auto kx = std::make_tuple(level_[x.node], x.node, x.local);
+    const auto ky = std::make_tuple(level_[y.node], y.node, y.local);
+    if (kx < ky) return -1;
+    return ky < kx ? 1 : 0;
+  }
+
+  bool ref_less(CandRef x, CandRef y) const { return ref_cmp(x, y) < 0; }
+
+  // --- DP cost model -------------------------------------------------------
 
   /// Pending discharge points that fire when the structure's bottom is not
   /// connected to ground (model-dependent; DESIGN.md section 2).
@@ -301,27 +374,30 @@ class MapperImpl {
   }
 
   /// Total order on candidates: primary DP rank, then every remaining
-  /// field.  Beam truncation under an unstable std::sort is therefore
-  /// reproducible on any platform and thread count.
+  /// field, closing with the schedule-independent child-reference keys.
+  /// Beam truncation under an unstable std::sort is therefore
+  /// reproducible on any platform, thread count, and stealing schedule.
   bool cand_less(const Cand& a, const Cand& b) const {
     const auto ra = rank(a.committed, a.level, a.p_total());
     const auto rb = rank(b.committed, b.level, b.p_total());
     if (ra != rb) return ra < rb;
-    return std::tie(a.level, a.p_bot, a.p_above, a.disch, a.par_b, a.has_pi,
-                    a.op, a.a, a.b) <
-           std::tie(b.level, b.p_bot, b.p_above, b.disch, b.par_b, b.has_pi,
-                    b.op, b.a, b.b);
+    const auto ta = std::tie(a.level, a.p_bot, a.p_above, a.disch, a.par_b,
+                             a.has_pi, a.op);
+    const auto tb = std::tie(b.level, b.p_bot, b.p_above, b.disch, b.par_b,
+                             b.has_pi, b.op);
+    if (ta != tb) return ta < tb;
+    if (a.op == Cand::Op::kSeries || a.op == Cand::Op::kParallel) {
+      if (const int c = ref_cmp(a.a, b.a)) return c < 0;
+      if (const int c = ref_cmp(a.b, b.b)) return c < 0;
+      return false;
+    }
+    return a.leaf < b.leaf;
   }
 
   // --- candidate construction --------------------------------------------
 
-  std::uint32_t push_cand(const Cand& c) {
-    arena_.push_back(c);
-    return static_cast<std::uint32_t>(arena_.size() - 1);
-  }
-
-  void try_or(std::vector<Cand>& out, const Cand& x, std::uint32_t xi,
-              const Cand& y, std::uint32_t yi) const {
+  void try_or(std::vector<Cand>& out, const Cand& x, CandRef xi,
+              const Cand& y, CandRef yi) const {
     const int w = x.w + y.w;
     const int h = std::max(x.h, y.h);
     // With complex gates, OVERSIZE parallels (Wmax < W <= 2*Wmax) are kept
@@ -344,8 +420,8 @@ class MapperImpl {
     out.push_back(c);
   }
 
-  void try_and(std::vector<Cand>& out, const Cand& top, std::uint32_t ti,
-               const Cand& bottom, std::uint32_t bi) const {
+  void try_and(std::vector<Cand>& out, const Cand& top, CandRef ti,
+               const Cand& bottom, CandRef bi) const {
     const int h = top.h + bottom.h;
     const int w = std::max(top.w, bottom.w);
     if (h > opts_.max_height) return;
@@ -381,8 +457,9 @@ class MapperImpl {
   }
 
   /// Intrinsic (structure-independent) total preorder on candidates used
-  /// for symmetric tie-breaks: compares only costed content, never arena
-  /// indices, so the comparison is invariant under node renumbering.
+  /// for symmetric tie-breaks: compares only costed content, never
+  /// reference keys, so the comparison is invariant under node
+  /// renumbering.
   static bool cand_content_less(const Cand& a, const Cand& b) {
     return std::tie(a.committed, a.level, a.w, a.h, a.p_bot, a.p_above,
                     a.disch, a.par_b, a.has_pi) <
@@ -395,43 +472,44 @@ class MapperImpl {
   /// larger p_dis (it defers more discharge transistors).  Exact p_dis
   /// ties no longer depend on fanin textual order (the old `>=` picked
   /// whichever operand happened to be fanin1): they break on intrinsic
-  /// candidate content, then on arena index for fully identical
+  /// candidate content, then on reference key for fully identical
   /// candidates, where either choice costs the same.
-  bool second_goes_bottom(const Cand& x, std::uint32_t xi, const Cand& y,
-                          std::uint32_t yi) const {
+  bool second_goes_bottom(const Cand& x, CandRef xi, const Cand& y,
+                          CandRef yi) const {
     if (x.par_b != y.par_b) return y.par_b;
     if (x.par_b && y.par_b) {
       if (x.p_total() != y.p_total()) return y.p_total() > x.p_total();
       if (cand_content_less(y, x)) return true;
       if (cand_content_less(x, y)) return false;
-      return yi < xi;
+      return ref_less(yi, xi);
     }
     return true;  // neither: keep textual order (x top, y bottom)
   }
 
   /// Candidate sets usable by a parent combining over `child`, written into
   /// the caller's scratch vector (no allocation in steady state).
-  void usable_set(NodeId child, std::vector<std::uint32_t>& out) const {
+  void usable_set(NodeId child, std::vector<CandRef>& out) const {
     out.clear();
     const NodeKind kind = net_.kind(child);
     SOIDOM_ASSERT_MSG(kind != NodeKind::kConst0 && kind != NodeKind::kConst1,
                       "constant feeding a mapped gate (should be swept)");
     if (kind == NodeKind::kPi) {
-      SOIDOM_ASSERT(pi_leaf_cand_[child.value] != kNoCand);
-      out.push_back(pi_leaf_cand_[child.value]);
+      out.push_back(CandRef{child.value, 0});
       return;
     }
     SOIDOM_ASSERT(kind == NodeKind::kAnd || kind == NodeKind::kOr);
     if (opts_.gate_at_fanout && fanout_[child.value] > 1) {
-      out.push_back(gate_leaf_cand_[child.value]);
+      out.push_back(gate_leaf_ref(child.value));
       return;
     }
-    const std::vector<std::uint32_t>& cands = node_cands_[child.value];
-    out.insert(out.end(), cands.begin(), cands.end());
-    out.push_back(gate_leaf_cand_[child.value]);
+    const std::size_t n = survivors_[child.value].size();
+    for (std::uint32_t k = 0; k < n; ++k) {
+      out.push_back(CandRef{child.value, k});
+    }
+    out.push_back(gate_leaf_ref(child.value));
   }
 
-  // --- wavefront DP -------------------------------------------------------
+  // --- task-graph DP -------------------------------------------------------
 
   /// Reusable per-worker state: the raw combination buffer and the flat
   /// Wmax x Hmax Pareto bucket grid.  Buckets keep their capacity across
@@ -440,28 +518,141 @@ class MapperImpl {
     std::vector<Cand> raw;
     std::vector<std::vector<Cand>> cells;
     std::vector<std::uint32_t> touched;
-    std::vector<std::uint32_t> s0, s1;
+    std::vector<CandRef> s0, s1;
   };
 
-  /// One node's DP outcome, recorded by a worker and merged (in node-id
-  /// order) into the global arena by the main thread.
-  struct NodeDecision {
-    std::uint32_t worker = 0;
-    std::uint32_t begin = 0;  ///< offset into worker_out_[worker]
-    std::uint32_t count = 0;  ///< surviving candidates
-    std::int32_t best_local = -1;       ///< best gate: index into the range
-    std::uint32_t complex_a = kNoCand;  ///< complex gate: global child pair
-    std::uint32_t complex_b = kNoCand;
-    std::uint32_t raw_count = 0;
-    GateEval eval;
-  };
+  void prepare_scratch() {
+    for (Scratch& s : scratch_) {
+      s.cells.resize(static_cast<std::size_t>(grid_wmax_) * grid_hmax_);
+    }
+  }
 
   std::size_t cell_index(int w, int h) const {
     return static_cast<std::size_t>(w - 1) * grid_hmax_ +
            static_cast<std::size_t>(h - 1);
   }
 
-  void process_wave_node(NodeId id, unsigned worker) {
+  /// Coarsen `order` (AND/OR nodes, ascending id == topological order)
+  /// into fanout-cone chunks of about `grain` nodes and run them over the
+  /// dependency-counting scheduler.
+  void run_dp_graph(const std::vector<std::uint32_t>& order,
+                    unsigned num_threads) {
+    // Grain: explicit, or derived so each worker sees plenty of tasks to
+    // steal without descending into per-node scheduling on huge circuits.
+    int grain = opts_.task_grain;
+    if (grain <= 0) {
+      const std::size_t target = static_cast<std::size_t>(num_threads) * 48;
+      grain = static_cast<int>(std::clamp<std::size_t>(
+          order.size() / std::max<std::size_t>(target, 1), 1, 4096));
+    }
+    dp_grain_ = grain;
+
+    // Fanout-free cone clustering: a node with exactly one AND/OR fanout
+    // joins that fanout's cluster (visited in reverse topological order,
+    // so the fanout's cluster already exists) unless the cluster is full.
+    // All edges leaving a cluster originate at its root, so ordering
+    // clusters by root id keeps every inter-cluster edge pointing forward.
+    constexpr std::uint32_t kUnassigned = 0xffffffffu;
+    std::vector<std::uint32_t> gate_fanouts(net_.size(), 0);
+    std::vector<std::uint32_t> unique_fanout(net_.size(), kUnassigned);
+    for (const std::uint32_t id : order) {
+      const Node& n = net_.node(NodeId{id});
+      for (const NodeId f : {n.fanin0, n.fanin1}) {
+        const NodeKind k = net_.kind(f);
+        if (k != NodeKind::kAnd && k != NodeKind::kOr) continue;
+        ++gate_fanouts[f.value];
+        unique_fanout[f.value] = id;
+      }
+    }
+    std::vector<std::uint32_t> cluster(net_.size(), kUnassigned);
+    std::vector<std::uint32_t> cluster_nodes(net_.size(), 0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::uint32_t u = *it;
+      if (gate_fanouts[u] == 1) {
+        const std::uint32_t root = cluster[unique_fanout[u]];
+        if (cluster_nodes[root] < static_cast<std::uint32_t>(grain)) {
+          cluster[u] = root;
+          ++cluster_nodes[root];
+          continue;
+        }
+      }
+      cluster[u] = u;
+      cluster_nodes[u] = 1;
+    }
+
+    // Pack whole clusters — in root-id order, so inter-chunk edges stay
+    // forward — into chunks of at least `grain` nodes.
+    std::vector<std::vector<std::uint32_t>> members(net_.size());
+    for (const std::uint32_t id : order) {
+      members[cluster[id]].push_back(id);
+    }
+    std::vector<std::vector<std::uint32_t>> chunks;
+    std::vector<std::uint32_t> chunk_of(net_.size(), 0);
+    for (const std::uint32_t id : order) {
+      if (cluster[id] != id) continue;  // not a cluster root
+      if (chunks.empty() ||
+          chunks.back().size() >= static_cast<std::size_t>(grain)) {
+        chunks.emplace_back();
+      }
+      std::vector<std::uint32_t>& chunk = chunks.back();
+      chunk.insert(chunk.end(), members[id].begin(), members[id].end());
+      for (const std::uint32_t m : members[id]) {
+        chunk_of[m] = static_cast<std::uint32_t>(chunks.size() - 1);
+      }
+    }
+    // Intra-chunk execution order must respect dependencies; ascending id
+    // (a topological order) does, for both cone members and packed runs.
+    for (std::vector<std::uint32_t>& chunk : chunks) {
+      std::sort(chunk.begin(), chunk.end());
+    }
+    dp_tasks_ = static_cast<int>(chunks.size());
+
+    // Cross-chunk dependency edges, deduplicated with a stamp array.
+    std::vector<std::vector<std::uint32_t>> successors(chunks.size());
+    std::vector<std::uint32_t> stamp(chunks.size(), 0xffffffffu);
+    for (std::uint32_t c = 0; c < chunks.size(); ++c) {
+      for (const std::uint32_t id : chunks[c]) {
+        const Node& n = net_.node(NodeId{id});
+        for (const NodeId f : {n.fanin0, n.fanin1}) {
+          const NodeKind k = net_.kind(f);
+          if (k != NodeKind::kAnd && k != NodeKind::kOr) continue;
+          const std::uint32_t pc = chunk_of[f.value];
+          if (pc == c || stamp[pc] == c) continue;
+          stamp[pc] = c;
+          successors[pc].push_back(c);
+        }
+      }
+    }
+
+    num_threads = static_cast<unsigned>(
+        std::min<std::size_t>(num_threads, chunks.size()));
+    ThreadPool pool(num_threads);
+    threads_used_ = static_cast<int>(pool.size());
+    scratch_.resize(pool.size());
+    prepare_scratch();
+    std::vector<std::size_t> examined(pool.size(), 0);
+#if defined(SOIDOM_FAULT_INJECTION)
+    FaultInjector* const injector = current_fault_injector();
+#endif
+    pool.run_graph(
+        chunks.size(), successors, [&](std::size_t c, unsigned worker) {
+#if defined(SOIDOM_FAULT_INJECTION)
+          // Workers have their own thread-local injector slot; re-install
+          // the caller's so per-task probes ("worker death" coverage)
+          // observe it.
+          std::optional<FaultScope> fault_scope;
+          if (injector != nullptr) fault_scope.emplace(*injector);
+#endif
+          SOIDOM_FAULT_PROBE(current_stage_or(FlowStage::kMap));
+          for (const std::uint32_t id : chunks[c]) {
+            process_node(NodeId{id}, worker, &examined[worker]);
+          }
+        });
+    candidates_examined_ = 0;
+    for (const std::size_t e : examined) candidates_examined_ += e;
+  }
+
+  void process_node(NodeId id, unsigned worker, std::size_t* examined) {
     if (guard_ != nullptr) guard_->checkpoint();
     const Node& n = net_.node(id);
     Scratch& scratch = scratch_[worker];
@@ -470,10 +661,10 @@ class MapperImpl {
 
     std::vector<Cand>& raw = scratch.raw;
     raw.clear();
-    for (const std::uint32_t i0 : scratch.s0) {
-      for (const std::uint32_t i1 : scratch.s1) {
-        const Cand& c0 = arena_[i0];
-        const Cand& c1 = arena_[i1];
+    for (const CandRef i0 : scratch.s0) {
+      const Cand& c0 = deref(i0);
+      for (const CandRef i1 : scratch.s1) {
+        const Cand& c1 = deref(i1);
         if (n.kind == NodeKind::kOr) {
           try_or(raw, c0, i0, c1, i1);
         } else if (opts_.engine == MappingEngine::kDominoMap) {
@@ -504,6 +695,7 @@ class MapperImpl {
                  "increase max_width/max_height",
                  id.value, opts_.max_width, opts_.max_height));
     }
+    *examined += raw.size();
     if (guard_ != nullptr) guard_->charge(Resource::kTuples, raw.size());
 
     // Per-shape Pareto pruning on the flat bucket grid.
@@ -523,12 +715,11 @@ class MapperImpl {
       bucket.push_back(c);
     }
 
-    // Beam-cap each shape and emit survivors in canonical (W, H) order.
-    NodeDecision d;
-    d.worker = worker;
-    d.raw_count = static_cast<std::uint32_t>(raw.size());
-    std::vector<Cand>& out = worker_out_[worker];
-    d.begin = static_cast<std::uint32_t>(out.size());
+    // Beam-cap each shape and emit survivors in canonical (W, H) order,
+    // directly into the node's own slot (no merge step: only this task
+    // writes it, and dependents run strictly after via the task graph).
+    std::vector<Cand>& out = survivors_[id.value];
+    SOIDOM_ASSERT(out.empty());
     std::sort(scratch.touched.begin(), scratch.touched.end());
     for (const std::uint32_t cell : scratch.touched) {
       std::vector<Cand>& bucket = scratch.cells[cell];
@@ -540,28 +731,30 @@ class MapperImpl {
       bucket.clear();
     }
     scratch.touched.clear();
-    d.count = static_cast<std::uint32_t>(out.size()) - d.begin;
-    const Cand* kept = out.data() + d.begin;
 
     // Gate formation: pick the best candidate under the objective.
-    for (std::uint32_t k = 0; k < d.count; ++k) {
-      const Cand& c = kept[k];
+    std::int32_t best_local = -1;
+    GateEval best_eval;
+    for (std::uint32_t k = 0; k < out.size(); ++k) {
+      const Cand& c = out[k];
       if (c.w > opts_.max_width) continue;  // split fodder only
       const GateEval e = eval_gate(c);
-      if (d.best_local < 0 ||
+      if (best_local < 0 ||
           rank(e.cost, e.level, c.p_total()) <
-              rank(d.eval.cost, d.eval.level,
-                   kept[d.best_local].p_total())) {
-        d.best_local = static_cast<std::int32_t>(k);
-        d.eval = e;
+              rank(best_eval.cost, best_eval.level,
+                   out[best_local].p_total())) {
+        best_local = static_cast<std::int32_t>(k);
+        best_eval = e;
       }
     }
-    SOIDOM_ASSERT(d.best_local >= 0);
+    SOIDOM_ASSERT(best_local >= 0);
 
     // Complex-gate option (paper solution 7): at an OR node, form the gate
     // from one pulldown per operand joined by a static NAND2.  Each
     // pulldown keeps its own grounded bottom; the overhead is 2 precharge
     // (clocked) + NAND2 (4) + 2 keepers + a foot per footed pulldown.
+    CandRef complex_a;
+    CandRef complex_b;
     if (opts_.enable_complex_gates && n.kind == NodeKind::kOr) {
       auto resolved = [&](const Cand& c) {
         const bool grounded = grounded_if_footed(c.has_pi);
@@ -572,12 +765,12 @@ class MapperImpl {
       // Every parallel-rooted candidate (including the oversize ones kept
       // as split fodder) can be cut at its root into the gate's two
       // pulldowns; the halves are candidates of the *children*, so their
-      // arena indices are already final.
-      for (std::uint32_t k = 0; k < d.count; ++k) {
-        const Cand& c = kept[k];
+      // references are already final.
+      for (std::uint32_t k = 0; k < out.size(); ++k) {
+        const Cand& c = out[k];
         if (c.op != Cand::Op::kParallel) continue;
-        const Cand& a = arena_[c.a];
-        const Cand& b = arena_[c.b];
+        const Cand& a = deref(c.a);
+        const Cand& b = deref(c.b);
         if (a.w > opts_.max_width || b.w > opts_.max_width) continue;
         const auto [cost_a, disch_a] = resolved(a);
         const auto [cost_b, disch_b] = resolved(b);
@@ -589,66 +782,48 @@ class MapperImpl {
         e.level = std::max(a.level, b.level) + 1;
         const int pending = a.p_total() + b.p_total();
         const int incumbent_pending =
-            d.complex_a == kNoCand
-                ? kept[d.best_local].p_total()
-                : arena_[d.complex_a].p_total() + arena_[d.complex_b].p_total();
+            !complex_a.valid()
+                ? out[best_local].p_total()
+                : deref(complex_a).p_total() + deref(complex_b).p_total();
         if (rank(e.cost, e.level, pending) <
-            rank(d.eval.cost, d.eval.level, incumbent_pending)) {
-          d.complex_a = c.a;
-          d.complex_b = c.b;
-          d.eval = e;
+            rank(best_eval.cost, best_eval.level, incumbent_pending)) {
+          complex_a = c.a;
+          complex_b = c.b;
+          best_eval = e;
         }
       }
     }
 
-    // Budget accounting: the retained candidates (plus the gate-leaf tuple
-    // merged later) grow the arena for the rest of the run, so they are
-    // charged in addition to the transient raw combinations above.
+    gate_best_local_[id.value] = best_local;
+    gate_complex_a_[id.value] = complex_a;
+    gate_complex_b_[id.value] = complex_b;
+    gate_cost_[id.value] = best_eval.cost;
+    gate_level_[id.value] = best_eval.level;
+
+    Cand leaf;
+    leaf.op = Cand::Op::kGateLeaf;
+    leaf.leaf = id.value;
+    leaf.committed = best_eval.cost + kCostUnitsPerTransistor;
+    leaf.level = static_cast<std::int16_t>(best_eval.level);
+    gate_leaf_[id.value] = leaf;
+
+    // Budget accounting: the retained candidates (plus the gate-leaf
+    // tuple) persist for the rest of the run, so they are charged in
+    // addition to the transient raw combinations above.
     if (guard_ != nullptr) {
-      guard_->charge(Resource::kTuples, static_cast<std::size_t>(d.count) + 1);
-    }
-    decision_[id.value] = d;
-  }
-
-  /// Commit one wavefront: append every node's survivors to the global
-  /// arena in ascending node-id order and finalize its gate choice.
-  void merge_level(const std::vector<std::uint32_t>& wave) {
-    for (const std::uint32_t idv : wave) {
-      const NodeDecision& d = decision_[idv];
-      const Cand* kept = worker_out_[d.worker].data() + d.begin;
-      const auto base = static_cast<std::uint32_t>(arena_.size());
-      std::vector<std::uint32_t>& set = node_cands_[idv];
-      set.reserve(d.count);
-      for (std::uint32_t k = 0; k < d.count; ++k) set.push_back(push_cand(kept[k]));
-      if (d.complex_a != kNoCand) {
-        gate_cand_[idv] = d.complex_a;
-        gate_cand2_[idv] = d.complex_b;
-      } else {
-        gate_cand_[idv] = base + static_cast<std::uint32_t>(d.best_local);
-        gate_cand2_[idv] = kNoCand;
-      }
-      gate_cost_[idv] = d.eval.cost;
-      gate_level_[idv] = d.eval.level;
-      candidates_examined_ += d.raw_count;
-
-      Cand leaf;
-      leaf.op = Cand::Op::kGateLeaf;
-      leaf.a = idv;
-      leaf.committed = d.eval.cost + kCostUnitsPerTransistor;
-      leaf.level = static_cast<std::int16_t>(d.eval.level);
-      gate_leaf_cand_[idv] = push_cand(leaf);
+      guard_->charge(Resource::kTuples, out.size() + 1);
     }
   }
 
   // --- realization ---------------------------------------------------------
 
-  PdnIndex build_pdn(Pdn& pdn, std::uint32_t ci) {
-    const Cand& c = arena_[ci];
+  PdnIndex build_pdn(Pdn& pdn, CandRef ci) {
+    const Cand& c = deref(ci);
     switch (c.op) {
       case Cand::Op::kInputLeaf:
-        return pdn.add_leaf(c.a);
+        return pdn.add_leaf(c.leaf);
       case Cand::Op::kGateLeaf:
-        return pdn.add_leaf(realize_gate(NodeId{c.a}));
+        return pdn.add_leaf(realize_gate(NodeId{c.leaf}));
       case Cand::Op::kSeries: {
         const PdnIndex top = build_pdn(pdn, c.a);
         const PdnIndex bottom = build_pdn(pdn, c.b);
@@ -668,17 +843,21 @@ class MapperImpl {
     if (gate_signal_[node.value] != kNoSignal) {
       return gate_signal_[node.value];
     }
-    const std::uint32_t ci = gate_cand_[node.value];
-    const std::uint32_t ci2 = gate_cand2_[node.value];
-    SOIDOM_ASSERT(ci != kNoCand);
-    const Cand cand = arena_[ci];  // copy: arena stable, but be explicit
+    const bool complex = gate_complex_a_[node.value].valid();
+    SOIDOM_ASSERT(complex || gate_best_local_[node.value] >= 0);
+    const CandRef ci =
+        complex ? gate_complex_a_[node.value]
+                : CandRef{node.value, static_cast<std::uint32_t>(
+                                          gate_best_local_[node.value])};
+    const CandRef ci2 = complex ? gate_complex_b_[node.value] : CandRef{};
+    const Cand cand = deref(ci);  // copy: slots stable, but be explicit
 
     DominoGate gate;
     const PdnIndex root = build_pdn(gate.pdn, ci);
     gate.pdn.set_root(root);
     gate.footed = cand.has_pi;
-    if (ci2 != kNoCand) {
-      const Cand cand2 = arena_[ci2];
+    if (ci2.valid()) {
+      const Cand cand2 = deref(ci2);
       const PdnIndex root2 = build_pdn(gate.pdn2, ci2);
       gate.pdn2.set_root(root2);
       gate.footed2 = cand2.has_pi;
@@ -708,7 +887,7 @@ class MapperImpl {
       };
       gate.discharges = protect(gate.pdn, gate.footed, cand);
       if (gate.dual()) {
-        gate.discharges2 = protect(gate.pdn2, gate.footed2, arena_[ci2]);
+        gate.discharges2 = protect(gate.pdn2, gate.footed2, deref(ci2));
       }
     }
     const std::uint32_t signal = netlist_.add_gate(std::move(gate));
@@ -751,22 +930,29 @@ class MapperImpl {
 
   GuardContext* guard_ = nullptr;  ///< owning flow's guard, shared by workers
 
-  std::vector<Cand> arena_;
-  std::vector<std::vector<std::uint32_t>> node_cands_;
-  std::vector<std::uint32_t> pi_leaf_cand_;
-  std::vector<std::uint32_t> gate_cand_;
-  std::vector<std::uint32_t> gate_cand2_;  ///< second pulldown (complex gates)
-  std::vector<std::uint32_t> gate_leaf_cand_;
+  // Per-node DP state.  Each AND/OR node's slots are written by exactly
+  // one scheduler task; dependents read them only after the dependency
+  // release (acq_rel in ThreadPool::run_graph).
+  std::vector<std::vector<Cand>> survivors_;
+  std::vector<Cand> gate_leaf_;
+  std::vector<Cand> pi_leaf_;
+  std::vector<std::int32_t> gate_best_local_;
+  std::vector<CandRef> gate_complex_a_;  ///< complex gates: child pulldowns
+  std::vector<CandRef> gate_complex_b_;
   std::vector<std::int64_t> gate_cost_;
   std::vector<int> gate_level_;
   std::vector<std::uint32_t> input_signal_;
   std::vector<std::uint32_t> fanout_;
+  std::vector<int> level_;
 
-  std::vector<Scratch> scratch_;             // per worker
-  std::vector<std::vector<Cand>> worker_out_;  // per worker, per level
-  std::vector<NodeDecision> decision_;       // per node
+  std::vector<Scratch> scratch_;  // per worker
   std::size_t candidates_examined_ = 0;
+  std::size_t candidates_retained_ = 0;
   int dp_levels_ = 0;
+  int dp_tasks_ = 0;
+  int dp_grain_ = 0;
+  int threads_used_ = 1;
+  std::vector<Diagnostic> warnings_;
 
   DominoNetlist netlist_;
   MappingResult result_;
@@ -799,6 +985,15 @@ void validate(const MapperOptions& options) {
                  format("MapperOptions.num_threads = %d is invalid "
                         "(need 0 <= num_threads <= 256; 0 = auto)",
                         options.num_threads));
+  SOIDOM_REQUIRE(options.task_grain >= 0 && options.task_grain <= (1 << 20),
+                 format("MapperOptions.task_grain = %d is invalid "
+                        "(need 0 <= task_grain <= 1048576; 0 = auto)",
+                        options.task_grain));
+  SOIDOM_REQUIRE(
+      options.serial_cutoff >= 0 && options.serial_cutoff <= (1 << 30),
+      format("MapperOptions.serial_cutoff = %d is invalid "
+             "(need 0 <= serial_cutoff <= 2^30; 0 = always parallel)",
+             options.serial_cutoff));
 }
 
 MappingResult map_to_domino(const UnateResult& unate,

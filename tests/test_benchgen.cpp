@@ -238,5 +238,41 @@ TEST(Registry, TableListsAreRegistered) {
   EXPECT_EQ(table4_circuits().size(), 26u);
 }
 
+/// The scale suite resolves through the registry but stays OUT of
+/// benchmark_names(): the all-names sweeps above (and the golden-stat /
+/// integration suites) run full flows per name, which must not pick up
+/// 100k–1M-node circuits.  Building the suite is perf_mapper's job; here
+/// we only pin registration and the documented ordering.
+TEST(Registry, ScaleSuiteRegisteredButNotInClassicNames) {
+  const std::vector<std::string> scale = scale_circuits();
+  ASSERT_FALSE(scale.empty());
+  EXPECT_EQ(scale.back(), "xl_dag_1m");  // stress case is last
+  const std::vector<std::string> classic = benchmark_names();
+  for (const std::string& name : scale) {
+    EXPECT_TRUE(is_known_benchmark(name)) << name;
+    for (const std::string& c : classic) {
+      EXPECT_NE(c, name) << "scale circuit leaked into benchmark_names()";
+    }
+  }
+}
+
+/// A small instance of the scale workhorse family: controlled shape,
+/// deterministic, structurally sane.
+TEST(Generators, LayeredDagShapeAndDeterminism) {
+  const Network a = gen_layered_dag(16, 8, 90, 0xD06);
+  const Network b = gen_layered_dag(16, 8, 90, 0xD06);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_GT(a.stats().num_gates(), 0u);
+  EXPECT_FALSE(a.outputs().empty());
+  Rng rng(7);
+  EXPECT_TRUE(equivalent_by_simulation(a, b, 2, rng));
+  // Different seed, different circuit (with overwhelming probability).
+  const Network c = gen_layered_dag(16, 8, 90, 0xD07);
+  EXPECT_FALSE(a.size() == c.size() &&
+               equivalent_by_simulation(a, c, 2, rng));
+  EXPECT_THROW(gen_layered_dag(0, 8, 90, 1), Error);
+  EXPECT_THROW(gen_layered_dag(16, 8, 0, 1), Error);
+}
+
 }  // namespace
 }  // namespace soidom

@@ -1,8 +1,12 @@
-/// Wavefront-parallel mapper determinism: the mapped netlist, its
+/// Task-graph-parallel mapper determinism: the mapped netlist, its
 /// serialization and every predicted cost must be bit-identical for every
-/// thread count, on every engine and objective.  Also covers the
-/// determinism satellite fixes: permuted-fanin BLIF invariance, the
-/// second_goes_bottom tie-break, and TupleOracle::map() re-entry.
+/// thread count, on every engine and objective.  Multi-thread runs force
+/// serial_cutoff = 0 and oversubscribe = true so the scheduler path is
+/// actually exercised even on small circuits and small machines (the
+/// scheduler-specific cases live in test_mapper_taskgraph.cpp).  Also
+/// covers the determinism satellite fixes: permuted-fanin BLIF
+/// invariance, the second_goes_bottom tie-break, and TupleOracle::map()
+/// re-entry.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -32,6 +36,10 @@ struct Snapshot {
 Snapshot map_with_threads(const UnateResult& unate, MapperOptions opts,
                           int threads) {
   opts.num_threads = threads;
+  // Keep the identity checks non-vacuous: spawn the requested workers even
+  // above hardware concurrency, and keep small circuits on the scheduler.
+  opts.oversubscribe = true;
+  opts.serial_cutoff = 0;
   const MappingResult r = map_to_domino(unate, opts);
   return {write_dnl(r.netlist), r.predicted_cost, r.candidates_retained};
 }
@@ -56,6 +64,8 @@ TEST(MapperParallel, ThreadCountInvarianceOnBenchgenNetwork) {
   for (const int threads : {2, 4}) {
     FlowOptions a;
     a.mapper.num_threads = 1;
+    a.mapper.oversubscribe = true;
+    a.mapper.serial_cutoff = 0;
     a.verify_rounds = 0;
     FlowOptions b = a;
     b.mapper.num_threads = threads;
@@ -211,6 +221,9 @@ TEST(MapperParallel, EffortCountersPopulated) {
   EXPECT_GT(r.dp_levels, 0);
   EXPECT_LE(r.candidates_retained, r.candidates_examined +
                                        unate.net.size() /* leaves + gates */);
+  // Below serial_cutoff with default options the DP runs inline.
+  EXPECT_EQ(r.dp_tasks, 0);
+  EXPECT_EQ(r.threads_used, 1);
 }
 
 }  // namespace

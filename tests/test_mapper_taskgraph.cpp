@@ -1,0 +1,317 @@
+/// Dependency-counting task-graph scheduler tests (ThreadPool::run_graph
+/// under the mapper): identity against the inline serial path across
+/// thread counts, dependency ordering on diamond / reconvergent shapes,
+/// grain boundary cases, the oversubscription clamp diagnostic, and fault
+/// injection into the scheduler's per-task probes (worker death, cancel
+/// and budget trips mid-graph must surface as clean Diagnostics —
+/// FlowNeverCrashes extends to the parallel path).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "soidom/base/contracts.hpp"
+#include "soidom/base/parallel.hpp"
+#include "soidom/benchgen/generators.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/domino/serialize.hpp"
+#include "soidom/guard/fault.hpp"
+#include "soidom/mapper/mapper.hpp"
+#include "soidom/network/builder.hpp"
+#include "soidom/unate/unate.hpp"
+
+namespace soidom {
+namespace {
+
+/// Scheduler-path options: keep every circuit on the task graph (no
+/// serial cutoff) and spawn the requested workers even on small machines.
+MapperOptions graph_options(int threads, int grain = 0) {
+  MapperOptions opts;
+  opts.num_threads = threads;
+  opts.oversubscribe = true;
+  opts.serial_cutoff = 0;
+  opts.task_grain = grain;
+  return opts;
+}
+
+struct Snapshot {
+  std::string dnl;
+  std::int64_t predicted_cost = 0;
+  std::size_t candidates_retained = 0;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+Snapshot snap(const MappingResult& r) {
+  return {write_dnl(r.netlist), r.predicted_cost, r.candidates_retained};
+}
+
+// --- identity across thread counts ----------------------------------------
+
+TEST(MapperTaskGraph, IdentityAcrossThreadCountsOnPaperCircuits) {
+  for (const char* name : {"c880", "apex7", "k2", "des"}) {
+    const UnateResult unate = make_unate(build_benchmark(name));
+    // 1 thread always takes the inline serial path — the oracle.
+    const Snapshot serial = snap(map_to_domino(unate, graph_options(1)));
+    for (const int threads : {2, 4, 8}) {
+      EXPECT_EQ(serial, snap(map_to_domino(unate, graph_options(threads))))
+          << name << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(MapperTaskGraph, IdentityAcrossThreadCountsOnBenchgenCircuits) {
+  const Network nets[] = {
+      gen_layered_dag(64, 24, 85, 0xA11CE),
+      gen_multiplier(8),
+      gen_spn(24, 4, 0x7A5C),
+  };
+  for (const Network& net : nets) {
+    const UnateResult unate = make_unate(net);
+    const Snapshot serial = snap(map_to_domino(unate, graph_options(1)));
+    for (const int threads : {2, 4, 8}) {
+      EXPECT_EQ(serial, snap(map_to_domino(unate, graph_options(threads))));
+    }
+  }
+}
+
+// --- dependency ordering ---------------------------------------------------
+
+/// Diamond: two parallel paths reconverge.  At grain 1 every gate is its
+/// own task, so the reconvergence node's dependency counter must hold it
+/// back until BOTH branches finished — any ordering bug changes the
+/// output or trips the DP's internal asserts.
+TEST(MapperTaskGraph, DiamondDependencyOrdering) {
+  NetworkBuilder b;
+  const NodeId x = b.add_pi("x");
+  const NodeId y = b.add_pi("y");
+  const NodeId z = b.add_pi("z");
+  const NodeId left = b.add_and(x, y);
+  const NodeId right = b.add_or(y, z);
+  const NodeId join = b.add_and(left, right);
+  b.add_output(join, "f");
+  b.add_output(left, "g");  // fanout > 1 on one branch
+  const Network net = std::move(b).build();
+
+  const UnateResult unate = make_unate(net);
+  const Snapshot serial = snap(map_to_domino(unate, graph_options(1)));
+  for (const int threads : {2, 4}) {
+    EXPECT_EQ(serial,
+              snap(map_to_domino(unate, graph_options(threads, /*grain=*/1))));
+  }
+}
+
+/// Deep reconvergent fanout: one shared subtree feeds many consumers at
+/// different depths (maximal cross-chunk edges at grain 1).
+TEST(MapperTaskGraph, ReconvergentFanoutDependencyOrdering) {
+  NetworkBuilder b;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 6; ++i) pis.push_back(b.add_pi("x" + std::to_string(i)));
+  const NodeId shared = b.add_or(pis[0], pis[1]);
+  NodeId chain = shared;
+  for (int d = 0; d < 8; ++d) {
+    chain = d % 2 == 0 ? b.add_and(chain, pis[(d + 2) % 6])
+                       : b.add_or(chain, shared);  // re-touch the shared node
+  }
+  b.add_output(chain, "f");
+  b.add_output(b.add_and(shared, pis[5]), "g");
+  const Network net = std::move(b).build();
+
+  const UnateResult unate = make_unate(net);
+  const Snapshot serial = snap(map_to_domino(unate, graph_options(1)));
+  EXPECT_EQ(serial, snap(map_to_domino(unate, graph_options(4, /*grain=*/1))));
+}
+
+// --- grain boundary cases --------------------------------------------------
+
+TEST(MapperTaskGraph, GrainBoundaryCases) {
+  const Network net = testing::random_network(12, 150, 8, 0x94A1);
+  const UnateResult unate = make_unate(net);
+  const Snapshot serial = snap(map_to_domino(unate, graph_options(1)));
+
+  // grain 1: one task per fanout cone; maximal scheduling traffic.
+  const MappingResult fine = map_to_domino(unate, graph_options(4, 1));
+  EXPECT_EQ(serial, snap(fine));
+  EXPECT_GT(fine.dp_tasks, 1);
+
+  // grain >= node count: the whole circuit collapses into one task.
+  const MappingResult coarse =
+      map_to_domino(unate, graph_options(4, 1 << 20));
+  EXPECT_EQ(serial, snap(coarse));
+  EXPECT_EQ(coarse.dp_tasks, 1);
+  EXPECT_EQ(coarse.threads_used, 1);  // capped by the task count
+
+  // auto grain sits between and reports its derived value.
+  const MappingResult autod = map_to_domino(unate, graph_options(4, 0));
+  EXPECT_EQ(serial, snap(autod));
+  EXPECT_GE(autod.dp_grain, 1);
+}
+
+/// The serial cutoff only picks the execution path, never the result, and
+/// the effort counters tell which path ran.
+TEST(MapperTaskGraph, SerialCutoffEquivalence) {
+  const UnateResult unate = make_unate(build_benchmark("c8"));
+  MapperOptions serial_opts = graph_options(4);
+  serial_opts.serial_cutoff = 1 << 30;  // everything below: inline path
+  const MappingResult serial = map_to_domino(unate, serial_opts);
+  EXPECT_EQ(serial.dp_tasks, 0);
+  EXPECT_EQ(serial.threads_used, 1);
+
+  const MappingResult graph = map_to_domino(unate, graph_options(4));
+  EXPECT_GT(graph.dp_tasks, 0);
+  EXPECT_EQ(snap(serial), snap(graph));
+}
+
+// --- oversubscription clamp ------------------------------------------------
+
+TEST(MapperTaskGraph, OversubscribedRequestClampsWithDiagnostic) {
+  const UnateResult unate = make_unate(build_benchmark("c8"));
+  MapperOptions opts;
+  opts.num_threads = 256;  // far above any CI machine
+  opts.serial_cutoff = 0;
+  const MappingResult r = map_to_domino(unate, opts);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0].code, ErrorCode::kInvalidOptions);
+  EXPECT_EQ(r.warnings[0].stage, FlowStage::kMap);
+  EXPECT_LE(r.threads_used,
+            static_cast<int>(hardware_thread_count()));
+
+  // Opting in suppresses the clamp (and the diagnostic).
+  MapperOptions wild = opts;
+  wild.num_threads = static_cast<int>(hardware_thread_count()) + 2;
+  wild.oversubscribe = true;
+  const MappingResult w = map_to_domino(unate, wild);
+  EXPECT_TRUE(w.warnings.empty());
+  EXPECT_EQ(snap(r), snap(w));  // still bit-identical, of course
+}
+
+TEST(MapperTaskGraph, ClampWarningPropagatesThroughGuardedFlow) {
+  FlowOptions options;
+  options.verify_rounds = 0;
+  options.mapper.num_threads = 256;
+  options.mapper.serial_cutoff = 0;
+  const FlowOutcome outcome =
+      run_flow_guarded(testing::full_adder_network(), options);
+  ASSERT_TRUE(outcome.ok());
+  bool found = false;
+  for (const Diagnostic& d : outcome.warnings) {
+    found = found || (d.code == ErrorCode::kInvalidOptions &&
+                      d.stage == FlowStage::kMap);
+  }
+  EXPECT_TRUE(found) << "clamp warning missing from FlowOutcome::warnings";
+}
+
+TEST(MapperTaskGraph, InvalidSchedulerKnobsRejectedUpFront) {
+  const UnateResult unate = make_unate(testing::fig3_network());
+  MapperOptions bad_grain;
+  bad_grain.task_grain = -1;
+  EXPECT_THROW(map_to_domino(unate, bad_grain), Error);
+  MapperOptions bad_cutoff;
+  bad_cutoff.serial_cutoff = -5;
+  EXPECT_THROW(map_to_domino(unate, bad_cutoff), Error);
+}
+
+// --- fault injection into the scheduler ------------------------------------
+
+FlowOptions parallel_flow_options() {
+  FlowOptions options;
+  options.verify_rounds = 0;
+  options.mapper.num_threads = 4;
+  options.mapper.oversubscribe = true;
+  options.mapper.serial_cutoff = 0;
+  options.mapper.task_grain = 1;  // many tasks -> many per-task probes
+  return options;
+}
+
+/// "Worker death": the kMap probe fires inside a scheduler task (hit 2 —
+/// hit 1 is the map_to_domino entry probe), i.e. on a pool worker running
+/// one chunk.  The graph must still drain and the failure surface as a
+/// clean kFaultInjected Diagnostic at stage kMap.
+TEST(MapperTaskGraph, WorkerDeathSurfacesAsCleanDiagnostic) {
+  for (const int hit : {2, 3, 7}) {
+    FaultInjector injector = FaultInjector::fail_at(FlowStage::kMap, hit);
+    FaultScope scope(injector);
+    const FlowOutcome outcome =
+        run_flow_guarded(testing::full_adder_network(),
+                         parallel_flow_options());
+    ASSERT_TRUE(outcome.diagnostic.has_value()) << "hit " << hit;
+    EXPECT_EQ(outcome.diagnostic->code, ErrorCode::kFaultInjected);
+    EXPECT_EQ(outcome.diagnostic->stage, FlowStage::kMap);
+    EXPECT_GE(injector.hits(FlowStage::kMap), hit) << "probe never reached";
+  }
+}
+
+/// Pre-cancelled token: the guard checkpoint inside every scheduler task
+/// observes it; the run must end in a clean kCancelled, never a hang.
+TEST(MapperTaskGraph, CancelMidGraphSurfacesCleanly) {
+  GuardOptions gopts;
+  gopts.cancel.request_cancel();
+  const FlowOutcome outcome = run_flow_guarded(
+      build_benchmark("c8"), parallel_flow_options(), gopts);
+  ASSERT_TRUE(outcome.diagnostic.has_value());
+  EXPECT_EQ(outcome.diagnostic->code, ErrorCode::kCancelled);
+}
+
+/// A tuple-budget trip from a worker-side charge drains the graph and
+/// reports kBudgetExceeded at stage kMap.
+TEST(MapperTaskGraph, BudgetTripMidGraphSurfacesCleanly) {
+  GuardOptions gopts;
+  gopts.budget.max_tuples = 50;
+  const FlowOutcome outcome = run_flow_guarded(
+      build_benchmark("c8"), parallel_flow_options(), gopts);
+  ASSERT_TRUE(outcome.diagnostic.has_value());
+  EXPECT_EQ(outcome.diagnostic->code, ErrorCode::kBudgetExceeded);
+  EXPECT_EQ(outcome.diagnostic->stage, FlowStage::kMap);
+}
+
+/// Randomized soak: whatever the injector hits — scheduler tasks included
+/// — the guarded flow either succeeds or returns a clean Diagnostic.
+TEST(MapperTaskGraph, FlowNeverCrashesUnderRandomFaultsOnSchedulerPath) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    FaultInjector injector = FaultInjector::random(seed, 1, 20);
+    FaultScope scope(injector);
+    const FlowOutcome outcome = run_flow_guarded(
+        testing::random_network(8, 60, 4, seed), parallel_flow_options());
+    EXPECT_TRUE(outcome.ok() || outcome.diagnostic.has_value());
+    if (outcome.diagnostic.has_value() &&
+        outcome.diagnostic->code == ErrorCode::kFaultInjected) {
+      EXPECT_NE(outcome.diagnostic->stage, FlowStage::kNone);
+    }
+  }
+}
+
+// --- run_graph contract ----------------------------------------------------
+
+/// The pool rejects (never hangs on) a cyclic "DAG".
+TEST(MapperTaskGraph, RunGraphDetectsCycles) {
+  ThreadPool pool(2);
+  const std::vector<std::vector<std::uint32_t>> cyclic = {{1}, {0}};
+  EXPECT_THROW(
+      pool.run_graph(2, cyclic, [](std::size_t, unsigned) {}),
+      Error);
+}
+
+/// Lowest-task-index error wins regardless of schedule; later tasks are
+/// skipped, dependents still release, and the graph drains.
+TEST(MapperTaskGraph, RunGraphReportsLowestIndexError) {
+  ThreadPool pool(4);
+  // 0 -> 1 -> 2 -> ... -> 7, plus independent roots 8..15.
+  std::vector<std::vector<std::uint32_t>> succ(16);
+  for (std::uint32_t t = 0; t + 1 < 8; ++t) succ[t] = {t + 1};
+  try {
+    pool.run_graph(16, succ, [](std::size_t task, unsigned) {
+      if (task == 3 || task == 12) {
+        throw std::runtime_error("task " + std::to_string(task));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+}
+
+}  // namespace
+}  // namespace soidom

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""CI regression gate for BENCH_mapper.json (schema: DESIGN.md section 8).
+
+Reads the JSON written by bench/perf_mapper and enforces, in order of
+severity:
+
+ 1. Identity (always, on any machine): every circuit and every grain-
+    ablation entry must report "identical": true.  A divergent netlist is
+    a correctness bug in the task-graph scheduler, never a perf tradeoff.
+
+ 2. Absolute speedup floors (only when the machine can express them):
+      - geomean speedup at 2 threads on the "paper" set  >= --min-2t-paper
+        (default 0.9: the paper circuits run the inline serial path, so
+        2T must simply not regress it)
+      - geomean speedup at N threads on the "scale" set >= --min-nt-scale
+        (default 2.5 on a >= 4-way machine, per the acceptance bar)
+    Floors degrade honestly: a floor needing T-way parallelism is skipped
+    (with a notice) when hardware_concurrency_detected is false or the
+    detected concurrency is below T — wall-clock speedups measured on an
+    oversubscribed 1-CPU runner are scheduling noise, not data.
+
+ 3. Baseline drift (only with --baseline, typically the committed
+    BENCH_mapper.json): each geomean summary metric may not drop more
+    than --max-drop (default 10%) below the baseline's value.  Metrics
+    are dimensionless speedups, so this compares across machines of the
+    same shape; the comparison is skipped per-metric when either side's
+    machine could not express it (see rule 2), and entirely when the
+    baseline uses a different benchmark schema ("bench" mismatch), e.g.
+    right after the wavefront -> task-graph migration.
+
+Exit codes: 0 pass, 1 gate failure, 2 bad invocation / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_mapper_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def usable_threads(report):
+    """Concurrency this report's machine can honestly measure."""
+    if not report.get("hardware_concurrency_detected", False):
+        return 1
+    return int(report.get("hardware_concurrency", 1))
+
+
+def max_threads(report):
+    counts = report.get("thread_counts", [1])
+    return max(counts) if counts else 1
+
+
+def check_identity(report, failures):
+    for circuit in report.get("circuits", []):
+        if not circuit.get("identical", False):
+            failures.append(
+                f"circuit '{circuit.get('name', '?')}' mapped to a "
+                f"DIFFERENT netlist at some thread count"
+            )
+    ablation = report.get("grain_ablation", {})
+    for entry in ablation.get("entries", []):
+        if not entry.get("identical", False):
+            failures.append(
+                f"grain ablation ('{ablation.get('circuit', '?')}', "
+                f"grain={entry.get('grain', '?')}) diverged from grain 0"
+            )
+    summary = report.get("summary", {})
+    if "all_identical" in summary and not summary["all_identical"]:
+        failures.append("summary.all_identical is false")
+
+
+def check_floors(report, args, failures, notices):
+    summary = report.get("summary", {})
+    hw = usable_threads(report)
+    floors = [
+        ("geomean_speedup_2t_paper", args.min_2t_paper, 2),
+        ("geomean_speedup_nt_scale", args.min_nt_scale, 4),
+    ]
+    for key, floor, need in floors:
+        if floor is None:
+            continue
+        if hw < need:
+            notices.append(
+                f"skipping floor {key} >= {floor}: machine has "
+                f"{hw} usable thread(s), need {need}"
+            )
+            continue
+        value = summary.get(key)
+        if value is None:
+            failures.append(f"summary is missing {key} (needed for floor)")
+            continue
+        if value < floor:
+            failures.append(f"{key} = {value:.3f} is below the floor {floor}")
+        else:
+            notices.append(f"floor ok: {key} = {value:.3f} >= {floor}")
+
+
+def check_baseline(report, baseline, args, failures, notices):
+    if baseline.get("bench") != report.get("bench"):
+        notices.append(
+            f"baseline schema '{baseline.get('bench')}' != current "
+            f"'{report.get('bench')}': skipping drift comparison"
+        )
+        return
+    cur_hw, base_hw = usable_threads(report), usable_threads(baseline)
+    metrics = [
+        ("geomean_speedup_2t_paper", 2),
+        ("geomean_speedup_nt_paper", 4),
+        ("geomean_speedup_2t_scale", 2),
+        ("geomean_speedup_nt_scale", 4),
+    ]
+    for key, need in metrics:
+        if cur_hw < need or base_hw < need:
+            notices.append(
+                f"skipping drift check for {key}: needs {need}-way "
+                f"machines (current={cur_hw}, baseline={base_hw})"
+            )
+            continue
+        cur = report.get("summary", {}).get(key)
+        base = baseline.get("summary", {}).get(key)
+        if cur is None or base is None or base <= 0:
+            notices.append(f"skipping drift check for {key}: value missing")
+            continue
+        allowed = base * (1.0 - args.max_drop)
+        if cur < allowed:
+            failures.append(
+                f"{key} = {cur:.3f} dropped more than "
+                f"{args.max_drop:.0%} below baseline {base:.3f} "
+                f"(allowed >= {allowed:.3f})"
+            )
+        else:
+            notices.append(
+                f"drift ok: {key} = {cur:.3f} vs baseline {base:.3f}"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_mapper.json against identity, speedup "
+        "floors, and a committed baseline."
+    )
+    parser.add_argument("current", help="BENCH_mapper.json from this run")
+    parser.add_argument(
+        "--baseline", help="committed BENCH_mapper.json to diff against"
+    )
+    parser.add_argument(
+        "--min-2t-paper",
+        type=float,
+        default=0.9,
+        help="floor for geomean_speedup_2t_paper (default 0.9; "
+        "pass -1 to disable)",
+    )
+    parser.add_argument(
+        "--min-nt-scale",
+        type=float,
+        default=2.5,
+        help="floor for geomean_speedup_nt_scale on a >=4-way machine "
+        "(default 2.5; pass -1 to disable)",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.10,
+        help="max fractional geomean drop vs the baseline (default 0.10)",
+    )
+    args = parser.parse_args()
+    if args.min_2t_paper is not None and args.min_2t_paper < 0:
+        args.min_2t_paper = None
+    if args.min_nt_scale is not None and args.min_nt_scale < 0:
+        args.min_nt_scale = None
+
+    report = load(args.current)
+    if report.get("bench") != "mapper_taskgraph":
+        print(
+            f"check_mapper_bench: {args.current} has bench="
+            f"'{report.get('bench')}', expected 'mapper_taskgraph'",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    failures, notices = [], []
+    check_identity(report, failures)
+    check_floors(report, args, failures, notices)
+    if args.baseline:
+        check_baseline(report, load(args.baseline), args, failures, notices)
+
+    hw = report.get("hardware_concurrency", "?")
+    detected = report.get("hardware_concurrency_detected", False)
+    print(
+        f"check_mapper_bench: machine {hw} thread(s) "
+        f"({'detected' if detected else 'UNDETECTED'}), "
+        f"max measured {max_threads(report)}"
+    )
+    for line in notices:
+        print(f"  note: {line}")
+    for line in failures:
+        print(f"  FAIL: {line}")
+    if failures:
+        print(f"check_mapper_bench: {len(failures)} failure(s)")
+        return 1
+    print("check_mapper_bench: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
