@@ -5,13 +5,16 @@
 /// upload as a CI artifact.
 ///
 ///   build/bench/lint_report [--sarif=FILE] [--csa-sarif=FILE]
+///                           [--race-sarif=FILE]
 ///                           [--fail-on=error|warning|info]
 ///
 /// Default output file: lint_report.sarif in the working directory.
 /// --csa-sarif=FILE additionally runs the static charge-sharing / PBE
 /// analyzer (docs/CSA.md) on every mapped circuit and writes its merged
-/// findings as a second SARIF log (the CSA findings annotate but do not
-/// gate; the exit code reflects only the lint findings).
+/// findings as a second SARIF log; --race-sarif=FILE likewise runs the
+/// static phase / monotonicity / race analyzer (docs/RACE.md) and writes
+/// a third (analyzer findings annotate but do not gate; the exit code
+/// reflects only the lint findings).
 /// Exit code: 0 when every circuit is clean at the fail-on severity
 /// (default error), 1 otherwise — so the CI job both annotates findings
 /// and gates on them.
@@ -29,12 +32,15 @@ using namespace soidom;
 int main(int argc, char** argv) {
   std::string sarif_path = "lint_report.sarif";
   std::string csa_sarif_path;
+  std::string race_sarif_path;
   LintSeverity fail_on = LintSeverity::kError;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sarif=", 8) == 0) {
       sarif_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--csa-sarif=", 12) == 0) {
       csa_sarif_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--race-sarif=", 13) == 0) {
+      race_sarif_path = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--fail-on=error") == 0) {
       fail_on = LintSeverity::kError;
     } else if (std::strcmp(argv[i], "--fail-on=warning") == 0) {
@@ -44,7 +50,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sarif=FILE] [--csa-sarif=FILE] "
-                   "[--fail-on=error|warning|info]\n",
+                   "[--race-sarif=FILE] [--fail-on=error|warning|info]\n",
                    argv[0]);
       return 64;
     }
@@ -58,13 +64,16 @@ int main(int argc, char** argv) {
 
   std::string runs;
   std::string csa_runs;
+  std::string race_runs;
   int dirty = 0;
   int findings = 0;
   int csa_findings = 0;
+  int race_findings = 0;
   for (const std::string& name : circuits) {
     FlowOptions options;
     options.verify_rounds = 0;
     options.csa = !csa_sarif_path.empty();
+    options.race = !race_sarif_path.empty();
     const FlowResult result = run_flow(build_benchmark(name), options);
     findings += static_cast<int>(result.lint.findings.size());
     if (!result.lint.clean(fail_on)) {
@@ -85,6 +94,14 @@ int main(int argc, char** argv) {
       if (!csa_runs.empty()) csa_runs += ',';
       csa_runs += result.csa->lint.to_sarif_run(name + ".circuit");
     }
+    if (result.race.has_value()) {
+      race_findings += static_cast<int>(result.race->lint.findings.size());
+      std::printf("%-12s race %s skew_tol=%.3f\n", name.c_str(),
+                  result.race->lint.summary().c_str(),
+                  result.race->report.skew_tolerance);
+      if (!race_runs.empty()) race_runs += ',';
+      race_runs += result.race->lint.to_sarif_run(name + ".circuit");
+    }
   }
 
   const char* kSarifHeader =
@@ -98,6 +115,11 @@ int main(int argc, char** argv) {
     write_file_atomic(csa_sarif_path, kSarifHeader + csa_runs + "]}");
     std::printf("wrote %s (%zu circuits, %d csa findings)\n",
                 csa_sarif_path.c_str(), circuits.size(), csa_findings);
+  }
+  if (!race_sarif_path.empty()) {
+    write_file_atomic(race_sarif_path, kSarifHeader + race_runs + "]}");
+    std::printf("wrote %s (%zu circuits, %d race findings)\n",
+                race_sarif_path.c_str(), circuits.size(), race_findings);
   }
   return dirty == 0 ? 0 : 1;
 }

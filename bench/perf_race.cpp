@@ -1,0 +1,189 @@
+/// Race-analyzer performance harness: times run_race() at 1, 2 and N
+/// threads (N = hardware concurrency) on paper-suite circuits, asserts
+/// the reports AND the SARIF logs are byte-identical across thread
+/// counts, and emits BENCH_race.json (same shape as BENCH_mapper.json;
+/// see DESIGN.md section 8).
+///
+/// Usage: perf_race [output.json]   (default BENCH_race.json)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "soidom/base/parallel.hpp"
+#include "soidom/benchgen/registry.hpp"
+#include "soidom/core/flow.hpp"
+#include "soidom/race/race.hpp"
+
+namespace {
+
+using namespace soidom;
+
+struct Run {
+  int threads = 1;
+  double wall_ms = 0.0;
+  double gates_per_sec = 0.0;
+};
+
+struct CircuitReport {
+  std::string name;
+  std::size_t gates = 0;
+  int max_level = 0;
+  double critical_arrival = 0.0;
+  double skew_tolerance = 0.0;
+  int findings = 0;
+  std::vector<Run> runs;
+  bool identical = true;
+};
+
+/// Best-of-k wall time for one thread count; returns the last result so
+/// the caller can compare serializations across thread counts.
+double time_race(const DominoNetlist& netlist, int threads, int reps,
+                 RaceResult* out) {
+  RaceOptions opts;
+  opts.num_threads = threads;
+  // Tight-but-passable windows so the slack math and every rule run.
+  opts.t_eval = 40.0;
+  opts.t_pre = 10.0;
+  opts.skew = 0.3;
+  opts.margin = 1.0;
+  double best_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RaceResult r = run_race(netlist, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    best_ms = std::min(
+        best_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    *out = std::move(r);
+  }
+  return best_ms;
+}
+
+CircuitReport bench_circuit(const std::string& name,
+                            const std::vector<int>& thread_counts, int reps) {
+  CircuitReport rep;
+  rep.name = name;
+
+  FlowOptions options;
+  options.verify_rounds = 0;
+  const FlowResult mapped = run_flow(build_benchmark(name), options);
+  rep.gates = mapped.netlist.gates().size();
+
+  std::string reference_json;
+  std::string reference_sarif;
+  for (const int threads : thread_counts) {
+    RaceResult r;
+    const double ms = time_race(mapped.netlist, threads, reps, &r);
+    const std::string json = r.report.to_json();
+    const std::string sarif = r.lint.to_sarif(name + ".circuit");
+    if (threads == thread_counts.front()) {
+      reference_json = json;
+      reference_sarif = sarif;
+      rep.max_level = r.report.max_level;
+      rep.critical_arrival = r.report.critical_arrival;
+      rep.skew_tolerance = r.report.skew_tolerance;
+      rep.findings = static_cast<int>(r.lint.findings.size());
+    } else if (json != reference_json || sarif != reference_sarif) {
+      rep.identical = false;
+    }
+    Run run;
+    run.threads = threads;
+    run.wall_ms = ms;
+    run.gates_per_sec =
+        ms > 0.0 ? static_cast<double>(rep.gates) / (ms / 1000.0) : 0.0;
+    rep.runs.push_back(run);
+    std::printf("  %-12s %2d thread(s): %8.2f ms  (%.0f gates/s)\n",
+                name.c_str(), threads, ms, run.gates_per_sec);
+  }
+  return rep;
+}
+
+double speedup_at(const CircuitReport& rep, int threads) {
+  double base = 0.0, at = 0.0;
+  for (const Run& r : rep.runs) {
+    if (r.threads == 1) base = r.wall_ms;
+    if (r.threads == threads) at = r.wall_ms;
+  }
+  return at > 0.0 ? base / at : 0.0;
+}
+
+void write_json(const std::string& path,
+                const std::vector<CircuitReport>& reports,
+                const std::vector<int>& thread_counts) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", path.c_str());
+    std::abort();
+  }
+  const int n_threads = thread_counts.back();
+  std::fprintf(f, "{\n  \"bench\": \"race_analyzer\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hardware_thread_count());
+  std::fprintf(f, "  \"thread_counts\": [");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::fprintf(f, "%s%d", i ? ", " : "", thread_counts[i]);
+  }
+  std::fprintf(f, "],\n  \"circuits\": [\n");
+  double log_sum = 0.0;
+  bool all_identical = true;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const CircuitReport& rep = reports[i];
+    all_identical = all_identical && rep.identical;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"gates\": %zu,"
+                 " \"max_level\": %d, \"critical_arrival\": %.6f,\n"
+                 "     \"skew_tolerance\": %.6f, \"findings\": %d,"
+                 " \"identical\": %s,\n     \"runs\": [",
+                 rep.name.c_str(), rep.gates, rep.max_level,
+                 rep.critical_arrival, rep.skew_tolerance, rep.findings,
+                 rep.identical ? "true" : "false");
+    for (std::size_t j = 0; j < rep.runs.size(); ++j) {
+      const Run& r = rep.runs[j];
+      std::fprintf(f,
+                   "%s\n       {\"threads\": %d, \"wall_ms\": %.3f,"
+                   " \"gates_per_sec\": %.1f}",
+                   j ? "," : "", r.threads, r.wall_ms, r.gates_per_sec);
+    }
+    std::fprintf(f, "],\n     \"speedup_2t\": %.3f, \"speedup_nt\": %.3f}%s\n",
+                 speedup_at(rep, 2), speedup_at(rep, n_threads),
+                 i + 1 < reports.size() ? "," : "");
+    log_sum += std::log(std::max(speedup_at(rep, n_threads), 1e-9));
+  }
+  std::fprintf(f, "  ],\n  \"summary\": {\"geomean_speedup_nt\": %.3f,"
+               " \"all_identical\": %s}\n}\n",
+               std::exp(log_sum / static_cast<double>(reports.size())),
+               all_identical ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_race.json";
+  const int hw = static_cast<int>(hardware_thread_count());
+  std::vector<int> thread_counts = {1, 2, std::max(4, hw)};
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  std::printf("perf_race: hardware_concurrency=%d, thread counts:", hw);
+  for (const int t : thread_counts) std::printf(" %d", t);
+  std::printf("\n");
+
+  constexpr int kReps = 3;
+  std::vector<CircuitReport> reports;
+  // The largest registered paper-suite circuits: many gates and levels,
+  // so the per-gate parity walks have real parallel work.
+  for (const char* name : {"c1908", "c5315", "c7552", "k2"}) {
+    reports.push_back(bench_circuit(name, thread_counts, kReps));
+  }
+
+  write_json(out, reports, thread_counts);
+
+  bool ok = true;
+  for (const CircuitReport& rep : reports) ok = ok && rep.identical;
+  std::printf("wrote %s; race reports %s across thread counts\n", out.c_str(),
+              ok ? "IDENTICAL" : "DIVERGENT");
+  return ok ? 0 : 1;
+}

@@ -11,7 +11,12 @@
 /// Build & run:   build/examples/asic_flow [--diag-json] [--threads=N]
 ///                                         [--lint] [--lint-sarif=FILE]
 ///                                         [--csa] [--csa-sarif=FILE]
-///                                         [--csa-margin=X] [circuit.blif]
+///                                         [--csa-margin=X]
+///                                         [--race] [--race-sarif=FILE]
+///                                         [--race-phases=N]
+///                                         [--race-teval=X] [--race-tpre=X]
+///                                         [--race-skew=X]
+///                                         [--race-margin=X] [circuit.blif]
 /// Without a circuit argument a built-in 4-bit comparator BLIF is used.
 /// --threads=N sets the mapper DP thread count (0 = hardware concurrency,
 /// 1 = sequential; the result is bit-identical for every thread count).
@@ -19,7 +24,11 @@
 /// SARIF 2.1.0 for CI annotation.  --csa runs the static charge-sharing /
 /// PBE-safety analyzer (docs/CSA.md); --csa-sarif=FILE writes its
 /// findings as SARIF 2.1.0 and --csa-margin=X sets the droop noise
-/// margin as a fraction of VDD (default 0.25).
+/// margin as a fraction of VDD (default 0.25).  --race runs the static
+/// phase / monotonicity / race analyzer (docs/RACE.md); --race-sarif=FILE
+/// writes its findings as SARIF 2.1.0; --race-phases=N sets the clock
+/// phase count and --race-teval/--race-tpre/--race-skew/--race-margin
+/// configure the evaluate / precharge windows (0 = unconstrained).
 ///
 /// Batch mode (src/batch; see docs/BATCH.md):
 ///   --batch[=a,b,c]   run the asic flow over the named benchmark
@@ -169,6 +178,8 @@ int main(int argc, char** argv) {
   bool want_lint = false;
   bool want_csa = false;
   double csa_margin = -1.0;
+  bool want_race = false;
+  RaceOptions race_options;
   int num_threads = 0;
   bool batch_mode = false;
   std::vector<std::string> batch_circuits;
@@ -177,7 +188,25 @@ int main(int argc, char** argv) {
   batch.manifest_path = "asic_flow.manifest.json";
   std::string lint_sarif_path;
   std::string csa_sarif_path;
+  std::string race_sarif_path;
   std::string path;
+  // Strict numeric parses: atoi/atof would turn "--jobs=all" or
+  // "--csa-margin=high" into 0 silently.
+  bool bad_number = false;
+  auto int_flag = [&](const char* text, const char* flag, int* out) {
+    if (!parse_int_strict(text, out)) {
+      std::fprintf(stderr, "error: %s needs an integer, got '%s'\n", flag,
+                   text);
+      bad_number = true;
+    }
+  };
+  auto double_flag = [&](const char* text, const char* flag, double* out) {
+    if (!parse_double_strict(text, out)) {
+      std::fprintf(stderr, "error: %s needs a number, got '%s'\n", flag,
+                   text);
+      bad_number = true;
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--diag-json") == 0) {
       diag_json = true;
@@ -192,14 +221,29 @@ int main(int argc, char** argv) {
       csa_sarif_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--csa-margin=", 13) == 0) {
       want_csa = true;
-      csa_margin = std::atof(argv[i] + 13);
+      double_flag(argv[i] + 13, "--csa-margin", &csa_margin);
+    } else if (std::strcmp(argv[i], "--race") == 0) {
+      want_race = true;
+    } else if (std::strncmp(argv[i], "--race-sarif=", 13) == 0) {
+      want_race = true;
+      race_sarif_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--race-phases=", 14) == 0) {
+      want_race = true;
+      int_flag(argv[i] + 14, "--race-phases", &race_options.num_phases);
+    } else if (std::strncmp(argv[i], "--race-teval=", 13) == 0) {
+      want_race = true;
+      double_flag(argv[i] + 13, "--race-teval", &race_options.t_eval);
+    } else if (std::strncmp(argv[i], "--race-tpre=", 12) == 0) {
+      want_race = true;
+      double_flag(argv[i] + 12, "--race-tpre", &race_options.t_pre);
+    } else if (std::strncmp(argv[i], "--race-skew=", 12) == 0) {
+      want_race = true;
+      double_flag(argv[i] + 12, "--race-skew", &race_options.skew);
+    } else if (std::strncmp(argv[i], "--race-margin=", 14) == 0) {
+      want_race = true;
+      double_flag(argv[i] + 14, "--race-margin", &race_options.margin);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      // Strict parse: atoi would turn "--threads=max" into 0 ("auto").
-      if (!parse_int_strict(argv[i] + 10, &num_threads)) {
-        std::fprintf(stderr, "error: --threads needs an integer, got '%s'\n",
-                     argv[i] + 10);
-        return 64;
-      }
+      int_flag(argv[i] + 10, "--threads", &num_threads);
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch_mode = true;
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
@@ -212,17 +256,20 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--manifest=", 11) == 0) {
       batch.manifest_path = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
-      batch.job_timeout_ms = std::atoll(argv[i] + 13);
+      int timeout_ms = 0;
+      int_flag(argv[i] + 13, "--timeout-ms", &timeout_ms);
+      batch.job_timeout_ms = timeout_ms;
     } else if (std::strncmp(argv[i], "--attempts=", 11) == 0) {
-      batch.retry.max_attempts = std::atoi(argv[i] + 11);
+      int_flag(argv[i] + 11, "--attempts", &batch.retry.max_attempts);
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      batch.max_parallel = std::atoi(argv[i] + 7);
+      int_flag(argv[i] + 7, "--jobs", &batch.max_parallel);
     } else if (std::strcmp(argv[i], "--isolate") == 0) {
       batch.isolate = true;
     } else {
       path = argv[i];
     }
   }
+  if (bad_number) return 64;
 
   install_signal_cancel();
 
@@ -233,6 +280,8 @@ int main(int argc, char** argv) {
     batch.flow.mapper.num_threads = num_threads;
     batch.flow.csa = want_csa;
     if (csa_margin >= 0.0) batch.flow.csa_options.margin = csa_margin;
+    batch.flow.race = want_race;
+    batch.flow.race_options = race_options;
     return run_batch_mode(batch_circuits, batch);
   }
 
@@ -271,6 +320,8 @@ int main(int argc, char** argv) {
     options.mapper.num_threads = num_threads;
     options.csa = want_csa;
     if (csa_margin >= 0.0) options.csa_options.margin = csa_margin;
+    options.race = want_race;
+    options.race_options = race_options;
     GuardOptions gopts;
     gopts.cancel = signal_cancel_token();
     const FlowOutcome outcome = run_flow_guarded(model, options, gopts);
@@ -301,6 +352,20 @@ int main(int argc, char** argv) {
             csa_sarif_path,
             flow.csa->lint.to_sarif(path.empty() ? "cmp4.blif" : path));
         std::printf("[csa]       wrote %s\n", csa_sarif_path.c_str());
+      }
+    }
+    if (flow.race.has_value()) {
+      const RaceReport& race = flow.race->report;
+      std::printf("[race]      %s  levels=%d crit=%.3f skew_tol=%.3f "
+                  "parity=%d mix=%d stale=%d\n",
+                  flow.race->lint.summary().c_str(), race.max_level,
+                  race.critical_arrival, race.skew_tolerance,
+                  race.gates_parity, race.gates_mix, race.gates_stale);
+      if (!race_sarif_path.empty()) {
+        write_file_atomic(
+            race_sarif_path,
+            flow.race->lint.to_sarif(path.empty() ? "cmp4.blif" : path));
+        std::printf("[race]      wrote %s\n", race_sarif_path.c_str());
       }
     }
     if (outcome.diagnostic.has_value()) return report(*outcome.diagnostic);

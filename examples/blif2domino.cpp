@@ -29,6 +29,16 @@
 ///   --csa-sarif=FILE         write the CSA findings as SARIF 2.1.0
 ///   --csa-margin=X           droop noise margin as a fraction of VDD
 ///                            (default 0.25)
+///   --race                   run the static phase / monotonicity / race
+///                            analyzer and print its report (docs/RACE.md)
+///   --race-sarif=FILE        write the race findings as SARIF 2.1.0
+///   --race-fail-on=SEV       fail on race findings >= error|warning|info
+///                            (default error)
+///   --race-phases=N          clock phase count (default 1)
+///   --race-teval=X           evaluate window (0 = unconstrained)
+///   --race-tpre=X            precharge window (0 = unconstrained)
+///   --race-skew=X            worst-case clock skew absorbed per handoff
+///   --race-margin=X          required skew-tolerance margin (warn below)
 ///   --diag-json              print failures/warnings as JSON diagnostics
 ///
 /// Output files (--spice/--verilog/--dnl/--lint-sarif) are written
@@ -67,7 +77,11 @@ namespace {
       "          [--exact] [--dump] [--spice=FILE] [--verilog=FILE]\n"
       "          [--timing] [--power] [--lint] [--lint-sarif=FILE]\n"
       "          [--lint-fail-on=error|warning|info]\n"
-      "          [--csa] [--csa-sarif=FILE] [--csa-margin=X] [--diag-json]\n"
+      "          [--csa] [--csa-sarif=FILE] [--csa-margin=X]\n"
+      "          [--race] [--race-sarif=FILE]\n"
+      "          [--race-fail-on=error|warning|info] [--race-phases=N]\n"
+      "          [--race-teval=X] [--race-tpre=X] [--race-skew=X]\n"
+      "          [--race-margin=X] [--diag-json]\n"
       "          circuit.{blif,v}\n",
       argv0);
   std::exit(64);
@@ -89,10 +103,29 @@ int main(int argc, char** argv) {
   bool want_lint = false;
   std::string lint_sarif_path;
   std::string csa_sarif_path;
+  std::string race_sarif_path;
   std::string spice_path;
   std::string verilog_path;
   std::string dnl_path;
   std::string path;
+
+  // Strict numeric parses: atoi/atof would turn "--wmax=big" or
+  // "--csa-margin=high" into 0 silently.
+  auto int_flag = [&](const std::string& text, const char* flag, int* out) {
+    if (!parse_int_strict(text, out)) {
+      std::fprintf(stderr, "error: %s needs an integer, got '%s'\n", flag,
+                   text.c_str());
+      usage(argv[0]);
+    }
+  };
+  auto double_flag = [&](const std::string& text, const char* flag,
+                         double* out) {
+    if (!parse_double_strict(text, out)) {
+      std::fprintf(stderr, "error: %s needs a number, got '%s'\n", flag,
+                   text.c_str());
+      usage(argv[0]);
+    }
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,18 +140,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--objective=depth") {
       options.mapper.objective = CostObjective::kDepth;
     } else if (arg.rfind("--wmax=", 0) == 0) {
-      options.mapper.max_width = std::atoi(arg.c_str() + 7);
+      int_flag(arg.substr(7), "--wmax", &options.mapper.max_width);
     } else if (arg.rfind("--hmax=", 0) == 0) {
-      options.mapper.max_height = std::atoi(arg.c_str() + 7);
+      int_flag(arg.substr(7), "--hmax", &options.mapper.max_height);
     } else if (arg.rfind("--k=", 0) == 0) {
-      options.mapper.clock_weight = std::atof(arg.c_str() + 4);
+      double_flag(arg.substr(4), "--k", &options.mapper.clock_weight);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      // Strict parse: atoi would turn "--threads=max" into 0 ("auto").
-      if (!parse_int_strict(arg.substr(10), &options.mapper.num_threads)) {
-        std::fprintf(stderr, "error: --threads needs an integer, got '%s'\n",
-                     arg.c_str() + 10);
-        usage(argv[0]);
-      }
+      int_flag(arg.substr(10), "--threads", &options.mapper.num_threads);
     } else if (arg == "--minimize") {
       options.decompose.minimize_covers = true;
     } else if (arg == "--seq-aware") {
@@ -154,7 +182,42 @@ int main(int argc, char** argv) {
       csa_sarif_path = arg.substr(12);
     } else if (arg.rfind("--csa-margin=", 0) == 0) {
       options.csa = true;
-      options.csa_options.margin = std::atof(arg.c_str() + 13);
+      double_flag(arg.substr(13), "--csa-margin",
+                  &options.csa_options.margin);
+    } else if (arg == "--race") {
+      options.race = true;
+    } else if (arg.rfind("--race-sarif=", 0) == 0) {
+      options.race = true;
+      race_sarif_path = arg.substr(13);
+    } else if (arg == "--race-fail-on=error") {
+      options.race = true;
+      options.race_fail_on = LintSeverity::kError;
+    } else if (arg == "--race-fail-on=warning") {
+      options.race = true;
+      options.race_fail_on = LintSeverity::kWarning;
+    } else if (arg == "--race-fail-on=info") {
+      options.race = true;
+      options.race_fail_on = LintSeverity::kInfo;
+    } else if (arg.rfind("--race-phases=", 0) == 0) {
+      options.race = true;
+      int_flag(arg.substr(14), "--race-phases",
+               &options.race_options.num_phases);
+    } else if (arg.rfind("--race-teval=", 0) == 0) {
+      options.race = true;
+      double_flag(arg.substr(13), "--race-teval",
+                  &options.race_options.t_eval);
+    } else if (arg.rfind("--race-tpre=", 0) == 0) {
+      options.race = true;
+      double_flag(arg.substr(12), "--race-tpre",
+                  &options.race_options.t_pre);
+    } else if (arg.rfind("--race-skew=", 0) == 0) {
+      options.race = true;
+      double_flag(arg.substr(12), "--race-skew",
+                  &options.race_options.skew);
+    } else if (arg.rfind("--race-margin=", 0) == 0) {
+      options.race = true;
+      double_flag(arg.substr(14), "--race-margin",
+                  &options.race_options.margin);
     } else if (arg == "--diag-json") {
       diag_json = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -227,6 +290,14 @@ int main(int argc, char** argv) {
       if (!csa_sarif_path.empty()) {
         write_file_atomic(csa_sarif_path, result.csa->lint.to_sarif(path));
         std::printf("wrote %s\n", csa_sarif_path.c_str());
+      }
+    }
+    if (result.race.has_value()) {
+      std::printf("race: %s\n", result.race->lint.summary().c_str());
+      std::printf("%s\n", result.race->report.to_json().c_str());
+      if (!race_sarif_path.empty()) {
+        write_file_atomic(race_sarif_path, result.race->lint.to_sarif(path));
+        std::printf("wrote %s\n", race_sarif_path.c_str());
       }
     }
     if (want_timing) {

@@ -30,6 +30,10 @@
 ///             --csa --csa-margin=X  (static charge-sharing / PBE-safety
 ///             analysis per job; the retry ladder shrinks its state
 ///             enumeration before relaxing other limits — docs/CSA.md)
+///             --race --race-phases=N --race-teval=X --race-tpre=X
+///             --race-skew=X --race-margin=X  (static phase / race
+///             analysis per job; the ladder drops the clock windows
+///             before relaxing other limits — docs/RACE.md)
 ///
 /// Exit codes (docs/ERRORS.md): 0 all jobs ok (or terminal with
 /// --allow-failures), 7 some jobs failed/quarantined, 6 batch aborted
@@ -58,7 +62,9 @@ namespace {
       "          [--inject=N/D@SEED] [--allow-failures]\n"
       "          [--flow=domino|rs|soi] [--wmax=N] [--hmax=N] [--threads=N]\n"
       "          [--seq-aware] [--exact] [--verify=N]\n"
-      "          [--csa] [--csa-margin=X] [circuit.blif ...]\n",
+      "          [--csa] [--csa-margin=X]\n"
+      "          [--race] [--race-phases=N] [--race-teval=X] [--race-tpre=X]\n"
+      "          [--race-skew=X] [--race-margin=X] [circuit.blif ...]\n",
       argv0);
   std::exit(64);
 }
@@ -101,6 +107,24 @@ int main(int argc, char** argv) {
   std::vector<std::string> named;
   std::vector<std::string> files;
 
+  // Strict numeric parses: atoi/atof would turn "--jobs=all" or
+  // "--csa-margin=high" into 0 silently.
+  auto int_flag = [&](const std::string& text, const char* flag, int* out) {
+    if (!parse_int_strict(text, out)) {
+      std::fprintf(stderr, "error: %s needs an integer, got '%s'\n", flag,
+                   text.c_str());
+      usage(argv[0]);
+    }
+  };
+  auto double_flag = [&](const std::string& text, const char* flag,
+                         double* out) {
+    if (!parse_double_strict(text, out)) {
+      std::fprintf(stderr, "error: %s needs a number, got '%s'\n", flag,
+                   text.c_str());
+      usage(argv[0]);
+    }
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tables") {
@@ -108,13 +132,16 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--circuits=", 0) == 0) {
       for (auto& name : split_names(arg.substr(11))) named.push_back(name);
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      options.max_parallel = std::atoi(arg.c_str() + 7);
+      int_flag(arg.substr(7), "--jobs", &options.max_parallel);
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
-      options.job_timeout_ms = std::atoll(arg.c_str() + 13);
+      int timeout_ms = 0;
+      int_flag(arg.substr(13), "--timeout-ms", &timeout_ms);
+      options.job_timeout_ms = timeout_ms;
     } else if (arg.rfind("--attempts=", 0) == 0) {
-      options.retry.max_attempts = std::atoi(arg.c_str() + 11);
+      int_flag(arg.substr(11), "--attempts", &options.retry.max_attempts);
     } else if (arg.rfind("--backoff-ms=", 0) == 0) {
-      options.retry.backoff_base_ms = std::atoi(arg.c_str() + 13);
+      int_flag(arg.substr(13), "--backoff-ms",
+               &options.retry.backoff_base_ms);
     } else if (arg == "--isolate") {
       options.isolate = true;
     } else if (arg.rfind("--journal=", 0) == 0) {
@@ -142,28 +169,45 @@ int main(int argc, char** argv) {
     } else if (arg == "--flow=soi") {
       options.flow.variant = FlowVariant::kSoiDominoMap;
     } else if (arg.rfind("--wmax=", 0) == 0) {
-      options.flow.mapper.max_width = std::atoi(arg.c_str() + 7);
+      int_flag(arg.substr(7), "--wmax", &options.flow.mapper.max_width);
     } else if (arg.rfind("--hmax=", 0) == 0) {
-      options.flow.mapper.max_height = std::atoi(arg.c_str() + 7);
+      int_flag(arg.substr(7), "--hmax", &options.flow.mapper.max_height);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      // Strict parse: atoi would turn "--threads=max" into 0 ("auto").
-      if (!parse_int_strict(arg.substr(10),
-                            &options.flow.mapper.num_threads)) {
-        std::fprintf(stderr, "error: --threads needs an integer, got '%s'\n",
-                     arg.c_str() + 10);
-        usage(argv[0]);
-      }
+      int_flag(arg.substr(10), "--threads", &options.flow.mapper.num_threads);
     } else if (arg == "--seq-aware") {
       options.flow.sequence_aware = true;
     } else if (arg == "--exact") {
       options.flow.exact_equivalence = true;
     } else if (arg.rfind("--verify=", 0) == 0) {
-      options.flow.verify_rounds = std::atoi(arg.c_str() + 9);
+      int_flag(arg.substr(9), "--verify", &options.flow.verify_rounds);
     } else if (arg == "--csa") {
       options.flow.csa = true;
     } else if (arg.rfind("--csa-margin=", 0) == 0) {
       options.flow.csa = true;
-      options.flow.csa_options.margin = std::atof(arg.c_str() + 13);
+      double_flag(arg.substr(13), "--csa-margin",
+                  &options.flow.csa_options.margin);
+    } else if (arg == "--race") {
+      options.flow.race = true;
+    } else if (arg.rfind("--race-phases=", 0) == 0) {
+      options.flow.race = true;
+      int_flag(arg.substr(14), "--race-phases",
+               &options.flow.race_options.num_phases);
+    } else if (arg.rfind("--race-teval=", 0) == 0) {
+      options.flow.race = true;
+      double_flag(arg.substr(13), "--race-teval",
+                  &options.flow.race_options.t_eval);
+    } else if (arg.rfind("--race-tpre=", 0) == 0) {
+      options.flow.race = true;
+      double_flag(arg.substr(12), "--race-tpre",
+                  &options.flow.race_options.t_pre);
+    } else if (arg.rfind("--race-skew=", 0) == 0) {
+      options.flow.race = true;
+      double_flag(arg.substr(12), "--race-skew",
+                  &options.flow.race_options.skew);
+    } else if (arg.rfind("--race-margin=", 0) == 0) {
+      options.flow.race = true;
+      double_flag(arg.substr(14), "--race-margin",
+                  &options.flow.race_options.margin);
     } else if (arg.rfind("--", 0) == 0) {
       usage(argv[0]);
     } else {

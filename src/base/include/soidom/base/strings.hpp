@@ -40,4 +40,12 @@ std::string percent(double numerator, double denominator);
 /// would silently mean "auto" instead of failing).
 bool parse_int_strict(std::string_view text, int* out);
 
+/// Strict floating-point parse for CLI option values: the whole of `text`
+/// must be a finite decimal number ("1", "-0.5", "2.5e-3").  Returns
+/// false on empty input, trailing junk, inf/nan, or out-of-range —
+/// unlike std::atof, which silently yields 0.0 for garbage (so
+/// "--csa-margin=high" would silently mean "no margin" instead of
+/// failing).
+bool parse_double_strict(std::string_view text, double* out);
+
 }  // namespace soidom

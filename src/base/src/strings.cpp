@@ -1,7 +1,9 @@
 #include "soidom/base/strings.hpp"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace soidom {
 
@@ -135,6 +137,25 @@ bool parse_int_strict(std::string_view text, int* out) {
     if (value > 0x7fffffffLL + (negative ? 1 : 0)) return false;
   }
   *out = static_cast<int>(negative ? -value : value);
+  return true;
+}
+
+bool parse_double_strict(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  // std::strtod accepts "inf"/"nan"/hex floats and leading whitespace;
+  // reject those up front so the accepted grammar stays plain decimal.
+  for (const char c : text) {
+    const bool decimal = (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                         c == '+' || c == 'e' || c == 'E';
+    if (!decimal) return false;
+  }
+  const std::string buffer(text);  // strtod needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return false;
+  if (errno == ERANGE) return false;
+  *out = value;
   return true;
 }
 

@@ -63,6 +63,11 @@ struct JobRecord {
   std::string summary;        ///< summarize(FlowResult) ("" when failed)
   int lint_errors = 0;
   int lint_warnings = 0;
+  /// Waiver-respecting error/warning counts from the optional analyzer
+  /// stages (CSA + race), so journal / resumed-manifest consumers see
+  /// analyzer findings without re-running the flow.
+  int analyzer_errors = 0;
+  int analyzer_warnings = 0;
   double ms = 0.0;            ///< journal-only (nondeterministic)
 };
 

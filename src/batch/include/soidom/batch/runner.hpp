@@ -64,6 +64,9 @@ enum class LadderStep : std::uint8_t {
   kShrinkVerify,  ///< verify_rounds clamped to 2
   kShrinkCsa,     ///< csa_options.max_states clamped to 256 (the CSA
                   ///< bound degrades to its truncation fallback sooner)
+  kShrinkRace,    ///< race_options windows unconstrained (t_eval/t_pre
+                  ///< = 0: the structural race rules still run, the
+                  ///< window-dependent ones are dropped)
   kRelaxLimits,   ///< Wmax/Hmax doubled (capped at 64), like the
                   ///< guarded flow's infeasible-limit retry
   kSingleThread,  ///< mapper.num_threads = 1

@@ -56,6 +56,19 @@ AttemptOutcome execute_attempt_inprocess(const BatchJob& job,
       out.lint_errors = flow.result->lint.count(LintSeverity::kError);
       out.lint_warnings =
           flow.result->lint.count(LintSeverity::kWarning) - out.lint_errors;
+      // Analyzer (csa.* / race.*) findings live in their own reports, not
+      // FlowResult::lint; count them separately so they reach the journal
+      // and the resumed merged manifest.
+      const auto analyzer_counts = [&](const LintReport& report) {
+        const int errors = report.count(LintSeverity::kError);
+        out.analyzer_errors += errors;
+        out.analyzer_warnings +=
+            report.count(LintSeverity::kWarning) - errors;
+      };
+      if (flow.result->csa.has_value()) analyzer_counts(flow.result->csa->lint);
+      if (flow.result->race.has_value()) {
+        analyzer_counts(flow.result->race->lint);
+      }
     }
   } catch (const GuardError& e) {
     out.ok = false;

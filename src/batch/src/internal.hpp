@@ -18,6 +18,9 @@ struct AttemptOutcome {
   std::string summary;
   int lint_errors = 0;
   int lint_warnings = 0;
+  /// Findings from the optional analyzer stages (CSA + race lint).
+  int analyzer_errors = 0;
+  int analyzer_warnings = 0;
 };
 
 /// Run one attempt in this process: hook, per-attempt fault injector,

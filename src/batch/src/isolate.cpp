@@ -20,6 +20,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <vector>
 
 #include "internal.hpp"
 #include "soidom/base/strings.hpp"
@@ -72,8 +73,9 @@ bool write_all(int fd, const char* data, std::size_t size) {
 
 std::string encode_attempt_outcome(const AttemptOutcome& outcome) {
   if (outcome.ok) {
-    return format("OK\t%d\t%d\t%s", outcome.lint_errors,
-                  outcome.lint_warnings,
+    return format("OK\t%d\t%d\t%d\t%d\t%s", outcome.lint_errors,
+                  outcome.lint_warnings, outcome.analyzer_errors,
+                  outcome.analyzer_warnings,
                   json_escape(outcome.summary).c_str());
   }
   const Diagnostic d = outcome.diagnostic.value_or(
@@ -85,31 +87,37 @@ std::string encode_attempt_outcome(const AttemptOutcome& outcome) {
 std::optional<AttemptOutcome> decode_attempt_outcome(const std::string& line) {
   // json_escape removes raw tabs/newlines from the payload fields, so a
   // plain tab split is unambiguous; the final field keeps everything.
+  // OK records carry 5 payload fields, ERR records 3.
   const std::size_t t1 = line.find('\t');
   if (t1 == std::string::npos) return std::nullopt;
-  const std::size_t t2 = line.find('\t', t1 + 1);
-  if (t2 == std::string::npos) return std::nullopt;
-  const std::size_t t3 = line.find('\t', t2 + 1);
-  if (t3 == std::string::npos) return std::nullopt;
   const std::string kind = line.substr(0, t1);
-  const std::string f1 = line.substr(t1 + 1, t2 - t1 - 1);
-  const std::string f2 = line.substr(t2 + 1, t3 - t2 - 1);
-  const std::string f3 = line.substr(t3 + 1);
+  const std::size_t want = kind == "OK" ? 5 : 3;
+  std::vector<std::string> fields;
+  std::size_t at = t1;
+  while (fields.size() + 1 < want) {
+    const std::size_t next = line.find('\t', at + 1);
+    if (next == std::string::npos) return std::nullopt;
+    fields.push_back(line.substr(at + 1, next - at - 1));
+    at = next;
+  }
+  fields.push_back(line.substr(at + 1));
 
   AttemptOutcome out;
   if (kind == "OK") {
     out.ok = true;
-    out.lint_errors = std::atoi(f1.c_str());
-    out.lint_warnings = std::atoi(f2.c_str());
-    out.summary = json_unescape(f3);
+    out.lint_errors = std::atoi(fields[0].c_str());
+    out.lint_warnings = std::atoi(fields[1].c_str());
+    out.analyzer_errors = std::atoi(fields[2].c_str());
+    out.analyzer_warnings = std::atoi(fields[3].c_str());
+    out.summary = json_unescape(fields[4]);
     return out;
   }
   if (kind == "ERR") {
-    const auto code = error_code_from_name(f1);
-    const auto stage = flow_stage_from_name(f2);
+    const auto code = error_code_from_name(fields[0]);
+    const auto stage = flow_stage_from_name(fields[1]);
     if (!code || !stage) return std::nullopt;
     out.ok = false;
-    out.diagnostic = Diagnostic{*code, *stage, json_unescape(f3), {}};
+    out.diagnostic = Diagnostic{*code, *stage, json_unescape(fields[2]), {}};
     return out;
   }
   return std::nullopt;

@@ -68,11 +68,13 @@ std::string job_fields_json(const JobRecord& r) {
   return format(
       R"("job":"%s","status":"%s","attempts":%d,"ladder":"%s",)"
       R"("code":"%s","stage":"%s","message":"%s","summary":"%s",)"
-      R"("lint_errors":%d,"lint_warnings":%d)",
+      R"("lint_errors":%d,"lint_warnings":%d,)"
+      R"("analyzer_errors":%d,"analyzer_warnings":%d)",
       json_escape(r.job).c_str(), job_status_name(r.status), r.attempts,
       json_escape(r.ladder).c_str(), json_escape(r.code).c_str(),
       json_escape(r.stage).c_str(), json_escape(r.message).c_str(),
-      json_escape(r.summary).c_str(), r.lint_errors, r.lint_warnings);
+      json_escape(r.summary).c_str(), r.lint_errors, r.lint_warnings,
+      r.analyzer_errors, r.analyzer_warnings);
 }
 
 }  // namespace
@@ -153,6 +155,8 @@ std::map<std::string, JobRecord> load_journal(const std::string& path) {
     find_string_field(line, "summary", &r.summary);
     find_int_field(line, "lint_errors", &r.lint_errors);
     find_int_field(line, "lint_warnings", &r.lint_warnings);
+    find_int_field(line, "analyzer_errors", &r.analyzer_errors);
+    find_int_field(line, "analyzer_warnings", &r.analyzer_warnings);
     records[r.job] = r;  // last record per job wins
   }
   return records;

@@ -248,6 +248,8 @@ void run_one_job(const BatchJob& job, const BatchOptions& options,
       rec.summary = ao.summary;
       rec.lint_errors = ao.lint_errors;
       rec.lint_warnings = ao.lint_warnings;
+      rec.analyzer_errors = ao.analyzer_errors;
+      rec.analyzer_warnings = ao.analyzer_warnings;
       rec.ms = elapsed_ms(job_start);
       if (journal.append([&](RunJournal& j) { j.append_done(rec); })) {
         out.terminal = true;
@@ -289,6 +291,7 @@ const char* ladder_step_name(LadderStep step) {
     case LadderStep::kDropExact: return "drop_exact";
     case LadderStep::kShrinkVerify: return "shrink_verify";
     case LadderStep::kShrinkCsa: return "shrink_csa";
+    case LadderStep::kShrinkRace: return "shrink_race";
     case LadderStep::kRelaxLimits: return "relax_limits";
     case LadderStep::kSingleThread: return "single_thread";
   }
@@ -301,7 +304,8 @@ LadderStep ladder_step_for_attempt(int attempt) {
     case 2: return LadderStep::kDropExact;
     case 3: return LadderStep::kShrinkVerify;
     case 4: return LadderStep::kShrinkCsa;
-    case 5: return LadderStep::kRelaxLimits;
+    case 5: return LadderStep::kShrinkRace;
+    case 6: return LadderStep::kRelaxLimits;
     default: return LadderStep::kSingleThread;
   }
 }
@@ -315,6 +319,10 @@ FlowOptions apply_ladder(const FlowOptions& base, LadderStep step) {
   if (step >= LadderStep::kShrinkCsa) {
     effective.csa_options.max_states =
         std::min(effective.csa_options.max_states, 256L);
+  }
+  if (step >= LadderStep::kShrinkRace) {
+    effective.race_options.t_eval = 0.0;
+    effective.race_options.t_pre = 0.0;
   }
   if (step >= LadderStep::kRelaxLimits) {
     effective.mapper.max_width =

@@ -24,6 +24,7 @@
 #include "soidom/lint/lint.hpp"
 #include "soidom/mapper/mapper.hpp"
 #include "soidom/network/network.hpp"
+#include "soidom/race/race.hpp"
 #include "soidom/unate/unate.hpp"
 
 namespace soidom {
@@ -59,6 +60,13 @@ struct FlowOptions {
   bool csa = false;
   LintSeverity csa_fail_on = LintSeverity::kError;
   CsaOptions csa_options;
+  /// Phase / monotonicity / race static analysis (race/race.hpp) after
+  /// CSA: records the race report and race.* findings in
+  /// FlowResult::race; findings at or above `race_fail_on` fail the flow
+  /// with a kRace diagnostic.
+  bool race = false;
+  LintSeverity race_fail_on = LintSeverity::kError;
+  RaceOptions race_options;
   /// Functional verification by random simulation (0 disables).
   int verify_rounds = 8;
   std::uint64_t verify_seed = 0x50D0;
@@ -75,6 +83,8 @@ struct FlowResult {
   LintReport lint;
   /// Charge-sharing analysis outcome when FlowOptions::csa was set.
   std::optional<CsaResult> csa;
+  /// Race analysis outcome when FlowOptions::race was set.
+  std::optional<RaceResult> race;
   /// Error-severity lint findings, flattened (legacy view of `lint`).
   VerifyReport structure;
   VerifyReport function;

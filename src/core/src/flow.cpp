@@ -125,6 +125,11 @@ void run_stages(const Network& source, const FlowOptions& options,
     result.csa = run_csa(result.netlist, options.csa_options);
   }
 
+  if (options.race) {
+    enter(guard, FlowStage::kRace);
+    result.race = run_race(result.netlist, options.race_options);
+  }
+
   if (options.verify_rounds > 0) {
     enter(guard, FlowStage::kVerifyFunction);
     Rng rng(options.verify_seed);
@@ -205,6 +210,19 @@ void run_stages(const Network& source, const FlowOptions& options,
                  {}};
     for (const Finding& f : result.csa->lint.findings) {
       if (!f.waived && f.severity >= options.csa_fail_on) {
+        d.context.push_back(f.to_string());
+      }
+    }
+    out.diagnostic = std::move(d);
+  } else if (result.race.has_value() &&
+             !result.race->lint.clean(options.race_fail_on)) {
+    Diagnostic d{ErrorCode::kVerificationFailed, FlowStage::kRace,
+                 format("race analysis failed at severity >= %s: %s",
+                        lint_severity_name(options.race_fail_on),
+                        result.race->lint.summary().c_str()),
+                 {}};
+    for (const Finding& f : result.race->lint.findings) {
+      if (!f.waived && f.severity >= options.race_fail_on) {
         d.context.push_back(f.to_string());
       }
     }
@@ -296,6 +314,28 @@ void validate(const FlowOptions& options) {
                           "invalid (need num_threads >= 0)",
                           options.csa_options.num_threads));
   }
+  if (options.race) {
+    SOIDOM_REQUIRE(options.race_options.num_phases >= 1,
+                   format("FlowOptions.race_options.num_phases = %d is "
+                          "invalid (need num_phases >= 1)",
+                          options.race_options.num_phases));
+    SOIDOM_REQUIRE(options.race_options.t_eval >= 0.0 &&
+                       options.race_options.t_pre >= 0.0,
+                   format("FlowOptions.race_options windows t_eval = %g / "
+                          "t_pre = %g are invalid (need >= 0)",
+                          options.race_options.t_eval,
+                          options.race_options.t_pre));
+    SOIDOM_REQUIRE(options.race_options.skew >= 0.0 &&
+                       options.race_options.margin >= 0.0,
+                   format("FlowOptions.race_options skew = %g / margin = %g "
+                          "are invalid (need >= 0)",
+                          options.race_options.skew,
+                          options.race_options.margin));
+    SOIDOM_REQUIRE(options.race_options.num_threads >= 0,
+                   format("FlowOptions.race_options.num_threads = %d is "
+                          "invalid (need num_threads >= 0)",
+                          options.race_options.num_threads));
+  }
 }
 
 FlowOutcome run_flow_guarded(const Network& source, const FlowOptions& options,
@@ -361,6 +401,11 @@ std::string summarize(const FlowResult& r) {
   if (r.csa.has_value()) {
     out += format(" csa=%s max_droop=%.3f",
                   r.csa->lint.summary().c_str(), r.csa->report.max_droop);
+  }
+  if (r.race.has_value()) {
+    out += format(" race=%s skew_tol=%.3f",
+                  r.race->lint.summary().c_str(),
+                  r.race->report.skew_tolerance);
   }
   return out;
 }

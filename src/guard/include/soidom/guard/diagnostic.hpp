@@ -31,6 +31,7 @@ enum class FlowStage : std::uint8_t {
   kVerifyStructure,  ///< structural netlist checks
   kLint,             ///< rule-based static lint over the mapped netlist
   kCsa,              ///< charge-sharing / PBE-safety static analysis
+  kRace,             ///< phase / monotonicity / race static analysis
   kVerifyFunction,   ///< random-simulation equivalence
   kExact,            ///< BDD exact equivalence
   // Batch-runner stages (batch/runner.hpp); they carry fault-injection

@@ -17,6 +17,7 @@ const char* flow_stage_name(FlowStage stage) {
     case FlowStage::kVerifyStructure: return "verify_structure";
     case FlowStage::kLint: return "lint";
     case FlowStage::kCsa: return "csa";
+    case FlowStage::kRace: return "race";
     case FlowStage::kVerifyFunction: return "verify_function";
     case FlowStage::kExact: return "exact";
     case FlowStage::kBatchJournal: return "batch_journal";

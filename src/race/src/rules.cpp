@@ -1,0 +1,242 @@
+/// \file rules.cpp
+/// The race.* lint rule family: renders a RaceReport as structured
+/// findings through the lint engine (docs/LINT.md has the catalogue).
+///
+/// Like the csa.* family these are report-driven: the rule objects hold
+/// references to the RaceReport/RaceOptions they were built over, so
+/// race_registry()'s result must not outlive them (run_race keeps
+/// everything on one stack frame).
+#include "soidom/base/strings.hpp"
+#include "soidom/race/race.hpp"
+
+namespace soidom {
+namespace {
+
+/// Shared base: iterates the report's gates and keeps the registry
+/// lifetime contract in one place.
+class RaceRule : public LintRule {
+ public:
+  RaceRule(const RaceReport& report, const RaceOptions& options)
+      : report_(report), options_(options) {}
+
+  /// Report-driven rules never index through the netlist, so they are
+  /// safe to run even when a foundation rule failed.
+  bool needs_sound() const override { return false; }
+
+ protected:
+  static LintLocation at(const RaceGateReport& gate, int which = 0) {
+    LintLocation loc;
+    loc.gate = gate.gate;
+    loc.pdn = which;
+    return loc;
+  }
+
+  const RaceReport& report_;
+  const RaceOptions& options_;
+};
+
+class InversionParityRule final : public RaceRule {
+ public:
+  using RaceRule::RaceRule;
+  const char* id() const override { return "race.inversion-parity"; }
+  const char* summary() const override {
+    return "a series path requires both phases of one primary input; "
+           "conduction needs a non-monotone evaluate transition";
+  }
+  LintSeverity severity() const override { return LintSeverity::kError; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    for (const RaceGateReport& gate : report_.gates) {
+      const auto emit = [&](int which, int pairs) {
+        if (pairs == 0) return;
+        Finding f;
+        f.severity = severity();
+        f.location = at(gate, which);
+        f.message = format(
+            "%d primary input%s required in both phases on a series path; "
+            "the pulldown can only conduct through a mid-evaluate falling "
+            "glitch",
+            pairs, pairs == 1 ? "" : "s");
+        f.fixit =
+            "re-run unate conversion; a correctly unate mapping never "
+            "places complementary literals in series";
+        out.push_back(std::move(f));
+      };
+      emit(1, gate.parity_pairs);
+      emit(2, gate.parity_pairs2);
+    }
+  }
+};
+
+class StaticMixRule final : public RaceRule {
+ public:
+  using RaceRule::RaceRule;
+  const char* id() const override { return "race.static-mix"; }
+  const char* summary() const override {
+    return "a footless pulldown can conduct during precharge "
+           "(static/domino crowbar path)";
+  }
+  LintSeverity severity() const override { return LintSeverity::kError; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    for (const RaceGateReport& gate : report_.gates) {
+      const auto emit = [&](int which, bool mix) {
+        if (!mix) return;
+        Finding f;
+        f.severity = severity();
+        f.location = at(gate, which);
+        f.message = format(
+            "footless pulldown can conduct while the precharge device is "
+            "on (%d stale-high fanin%s feeding it)",
+            gate.nonmonotone_inputs,
+            gate.nonmonotone_inputs == 1 ? "" : "s");
+        f.fixit =
+            "add a clock foot transistor, or fix the stale-high drivers "
+            "(race.precharge-overrun) feeding this gate";
+        out.push_back(std::move(f));
+      };
+      emit(1, gate.mix1);
+      emit(2, gate.mix2);
+    }
+  }
+};
+
+class PrechargeOverrunRule final : public RaceRule {
+ public:
+  using RaceRule::RaceRule;
+  const char* id() const override { return "race.precharge-overrun"; }
+  const char* summary() const override {
+    return "precharge cannot finish inside the precharge window; the "
+           "output holds a stale high into evaluate (min-delay race)";
+  }
+  LintSeverity severity() const override { return LintSeverity::kError; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    for (const RaceGateReport& gate : report_.gates) {
+      if (!gate.stale_high) continue;
+      Finding f;
+      f.severity = severity();
+      f.location = at(gate);
+      f.message = format(
+          "precharge bound %.3f + skew %.3f overruns t_pre %.3f by %.3f; "
+          "the output falls mid-evaluate and is non-monotone to %d "
+          "fanout%s",
+          gate.pre_max, options_.skew, options_.t_pre, -gate.pre_slack,
+          gate.fanout, gate.fanout == 1 ? "" : "s");
+      f.fixit =
+          "widen the precharge window, strengthen the precharge device "
+          "(smaller per_parallel / per_discharge loading), or reduce the "
+          "pulldown width";
+      out.push_back(std::move(f));
+    }
+  }
+};
+
+class EvalOverrunRule final : public RaceRule {
+ public:
+  using RaceRule::RaceRule;
+  const char* id() const override { return "race.eval-overrun"; }
+  const char* summary() const override {
+    return "worst-case arrival overruns the evaluate window; the stage "
+           "handoff can miss";
+  }
+  LintSeverity severity() const override { return LintSeverity::kWarning; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    if (options_.t_eval <= 0.0) return;
+    for (const RaceGateReport& gate : report_.gates) {
+      if (gate.eval_slack >= 0.0) continue;
+      Finding f;
+      f.severity = severity();
+      f.location = at(gate);
+      f.message = format(
+          "arrival bound %.3f + skew %.3f overruns t_eval %.3f by %.3f "
+          "(level %d)",
+          gate.arrival_max, options_.skew, options_.t_eval, -gate.eval_slack,
+          gate.level);
+      f.fixit =
+          "widen the evaluate window or rebalance the path (the levels "
+          "table in the race report shows where the slack went)";
+      out.push_back(std::move(f));
+    }
+  }
+};
+
+class SkewMarginRule final : public RaceRule {
+ public:
+  using RaceRule::RaceRule;
+  const char* id() const override { return "race.skew-margin"; }
+  const char* summary() const override {
+    return "a stage handoff survives but with less residual slack than "
+           "the required skew-tolerance margin";
+  }
+  LintSeverity severity() const override { return LintSeverity::kWarning; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    if (options_.margin <= 0.0) return;
+    if (options_.t_eval <= 0.0 && options_.t_pre <= 0.0) return;
+    for (const RaceGateReport& gate : report_.gates) {
+      // Overruns already get their own (stronger) findings.
+      if (gate.stale_high) continue;
+      if (options_.t_eval > 0.0 && gate.eval_slack < 0.0) continue;
+      if (gate.skew_tolerance >= options_.margin) continue;
+      Finding f;
+      f.severity = severity();
+      f.location = at(gate);
+      f.message = format(
+          "residual slack %.3f is below the required margin %.3f "
+          "(eval slack %.3f, precharge slack %.3f)",
+          gate.skew_tolerance, options_.margin, gate.eval_slack,
+          gate.pre_slack);
+      f.fixit = "tighten the clock distribution or widen the windows";
+      out.push_back(std::move(f));
+    }
+  }
+};
+
+class PhaseSkipRule final : public RaceRule {
+ public:
+  using RaceRule::RaceRule;
+  const char* id() const override { return "race.phase-skip"; }
+  const char* summary() const override {
+    return "a fanin crosses more than one level under a multi-phase "
+           "clock (wave-pipelining hazard)";
+  }
+  LintSeverity severity() const override { return LintSeverity::kWarning; }
+
+  void run(const LintContext&, std::vector<Finding>& out) const override {
+    if (options_.num_phases < 2) return;
+    for (const RaceGateReport& gate : report_.gates) {
+      if (gate.skip_fanins == 0) continue;
+      Finding f;
+      f.severity = severity();
+      f.location = at(gate);
+      f.message = format(
+          "%d fanin%s skip%s up to %d level%s into phase %d; the driver's "
+          "wave precharges before this gate evaluates",
+          gate.skip_fanins, gate.skip_fanins == 1 ? "" : "s",
+          gate.skip_fanins == 1 ? "s" : "", gate.max_fanin_gap,
+          gate.max_fanin_gap == 1 ? "" : "s", gate.phase);
+      f.fixit =
+          "insert buffer gates to balance the path (the planned "
+          "path-balancing DP consumes the levels table for this)";
+      out.push_back(std::move(f));
+    }
+  }
+};
+
+}  // namespace
+
+LintRegistry race_registry(const RaceReport& report,
+                           const RaceOptions& options) {
+  LintRegistry registry;
+  registry.add(std::make_unique<InversionParityRule>(report, options));
+  registry.add(std::make_unique<StaticMixRule>(report, options));
+  registry.add(std::make_unique<PrechargeOverrunRule>(report, options));
+  registry.add(std::make_unique<EvalOverrunRule>(report, options));
+  registry.add(std::make_unique<SkewMarginRule>(report, options));
+  registry.add(std::make_unique<PhaseSkipRule>(report, options));
+  return registry;
+}
+
+}  // namespace soidom

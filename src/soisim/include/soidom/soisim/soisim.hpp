@@ -68,6 +68,25 @@ struct DroopProbe {
   double q_pbe = 0.0;         ///< charge one firing parasitic device injects
 };
 
+/// Per-gate timing bounds for the opt-in race/monotonicity observation
+/// (enable_race).  The simulator is cycle-based, so timing is layered on
+/// as an observation: the probe carries the worst-case evaluate delay and
+/// precharge-completion bound of the gate (soidom/timing's GateTiming
+/// delay_max / pre_max, so the soidom/race conservativeness oracle can
+/// feed its own model in verbatim).
+struct RaceProbe {
+  double delay_max = 0.0;  ///< worst-case evaluate delay of this gate
+  double pre_max = 0.0;    ///< worst-case precharge completion time
+};
+
+/// Clock windows for the race observation, in RaceProbe units.  A window
+/// of 0 means unconstrained and disables the checks that need it.
+struct RaceClockSpec {
+  double t_eval = 0.0;  ///< evaluate-phase duration
+  double t_pre = 0.0;   ///< precharge-phase duration
+  double skew = 0.0;    ///< worst-case skew between communicating stages
+};
+
 /// One parasitic-bipolar firing.
 struct PbeEvent {
   std::uint32_t gate = 0;        ///< gate index in the netlist
@@ -120,6 +139,27 @@ class SoiSimulator {
   void enable_droop(std::vector<DroopProbe> probes);
   /// Largest droop observed for `gate` since enable_droop() / reset().
   double max_droop(std::uint32_t gate) const;
+
+  // --- race / monotonicity observation --------------------------------------
+  /// Start recording, per gate and cycle, (a) the evaluate handoff margin
+  /// implied by accumulating RaceProbe::delay_max along the actually-high
+  /// inputs (t_eval - skew - observed arrival; the running minimum is kept),
+  /// (b) non-monotone evaluate falls — cycles where the previous output was
+  /// high and the precharge bound overruns t_pre, so the stale high
+  /// survives into evaluate and falls mid-phase — and (c) precharge
+  /// crowbar fights — cycles where a footless pulldown conducts through
+  /// high primary-input literals while the precharge device is on.  One
+  /// probe per gate.  The soidom/race conservativeness oracle compares
+  /// these observations against the static analyzer's flags.
+  void enable_race(std::vector<RaceProbe> probes, const RaceClockSpec& clock);
+  /// Smallest evaluate handoff margin observed for `gate` since
+  /// enable_race() / reset(); +infinity when the gate never discharged
+  /// (or t_eval is unconstrained).
+  double min_handoff_margin(std::uint32_t gate) const;
+  /// Non-monotone evaluate falls observed for `gate` since enable_race().
+  int nonmonotone_falls(std::uint32_t gate) const;
+  /// Precharge crowbar fights observed for `gate` since enable_race().
+  int precharge_fights(std::uint32_t gate) const;
 
   // --- waveform tracing ----------------------------------------------------
   /// Start recording one sample per cycle: primary inputs, every gate
@@ -174,6 +214,13 @@ class SoiSimulator {
                      const std::vector<bool>& conducting,
                      bool legit_dynamic_high, bool dynamic_high,
                      std::uint32_t gate_index, bool second);
+  /// Fold one cycle's race observations for gate `gate_index` into the
+  /// race counters (no-op unless enable_race() was called).  Runs after
+  /// the gate's output for this cycle is in `actual`; `prev_output` is
+  /// the output the previous cycle left behind.
+  void observe_race(std::uint32_t gate_index, const DominoGate& spec,
+                    bool prev_output, const std::vector<bool>& actual,
+                    const std::vector<bool>& source_pi_values);
 
   struct TraceSample {
     std::vector<bool> pi_values;
@@ -191,6 +238,12 @@ class SoiSimulator {
   std::vector<PbeEvent> history_;
   std::vector<DroopProbe> droop_probes_;  ///< empty unless enable_droop()
   std::vector<double> max_droop_;         ///< per gate, since reset
+  std::vector<RaceProbe> race_probes_;    ///< empty unless enable_race()
+  RaceClockSpec race_clock_;
+  std::vector<double> race_margin_;   ///< per gate min handoff margin
+  std::vector<int> race_nonmono_;     ///< per gate non-monotone falls
+  std::vector<int> race_fights_;      ///< per gate precharge fights
+  std::vector<double> race_arrival_;  ///< per-signal scratch, one cycle
   bool tracing_ = false;
   std::vector<std::string> trace_pi_names_;
   std::vector<TraceSample> trace_;

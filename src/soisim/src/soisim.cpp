@@ -1,6 +1,7 @@
 #include "soidom/soisim/soisim.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "soidom/base/contracts.hpp"
 
@@ -107,6 +108,10 @@ void SoiSimulator::reset() {
   history_.clear();
   trace_.clear();
   max_droop_.assign(gates_.size(), 0.0);
+  race_margin_.assign(gates_.size(),
+                      std::numeric_limits<double>::infinity());
+  race_nonmono_.assign(gates_.size(), 0);
+  race_fights_.assign(gates_.size(), 0);
   auto reset_model = [](GateModel& g) {
     g.node_high.assign(static_cast<std::size_t>(g.num_nodes), false);
     g.node_high[kDynamicNode] = true;
@@ -293,9 +298,15 @@ CycleResult SoiSimulator::step(const std::vector<bool>& source_pi_values) {
   // Actual signal values as gates evaluate this cycle.
   std::vector<bool> actual = ideal;
 
+  if (!race_probes_.empty()) {
+    // Per-signal observed arrivals: inputs settle at the evaluate edge.
+    race_arrival_.assign(netlist_.num_inputs() + gates_.size(), 0.0);
+  }
+
   for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
     GateModel& gate = gates_[gi];
     const DominoGate& spec = netlist_.gates()[gi];
+    const bool prev_output = gate.output;
 
     bool conducted =
         run_pulldown(gate, actual, source_pi_values,
@@ -313,6 +324,10 @@ CycleResult SoiSimulator::step(const std::vector<bool>& source_pi_values) {
     const std::uint32_t out_signal =
         netlist_.signal_of_gate(static_cast<std::uint32_t>(gi));
     actual[out_signal] = gate.output;
+    if (!race_probes_.empty()) {
+      observe_race(static_cast<std::uint32_t>(gi), spec, prev_output, actual,
+                   source_pi_values);
+    }
     auto ideal_of = [&](std::uint32_t s) { return ideal[s]; };
     bool ideal_out = spec.pdn.conducts(ideal_of);
     if (spec.dual() && !ideal_out) ideal_out = spec.pdn2.conducts(ideal_of);
@@ -446,6 +461,85 @@ double SoiSimulator::max_droop(std::uint32_t gate) const {
                  "max_droop: enable_droop() was never called");
   SOIDOM_ASSERT(gate < max_droop_.size());
   return max_droop_[gate];
+}
+
+void SoiSimulator::enable_race(std::vector<RaceProbe> probes,
+                               const RaceClockSpec& clock) {
+  SOIDOM_REQUIRE(probes.size() == gates_.size(),
+                 "enable_race: need exactly one RaceProbe per gate");
+  SOIDOM_REQUIRE(
+      clock.t_eval >= 0.0 && clock.t_pre >= 0.0 && clock.skew >= 0.0,
+      "enable_race: clock windows and skew must be non-negative");
+  race_probes_ = std::move(probes);
+  race_clock_ = clock;
+  race_margin_.assign(gates_.size(),
+                      std::numeric_limits<double>::infinity());
+  race_nonmono_.assign(gates_.size(), 0);
+  race_fights_.assign(gates_.size(), 0);
+}
+
+void SoiSimulator::observe_race(std::uint32_t gate_index,
+                                const DominoGate& spec, bool prev_output,
+                                const std::vector<bool>& actual,
+                                const std::vector<bool>& source_pi_values) {
+  const RaceProbe& probe = race_probes_[gate_index];
+  // Precharge crowbar: a footless pulldown conducting while the precharge
+  // device is on.  In the cycle model only primary-input literals can be
+  // high during precharge (domino outputs precharge low).
+  const auto pi_high = [&](std::uint32_t s) {
+    return netlist_.is_input_signal(s) && literal_value(s, source_pi_values);
+  };
+  if (!spec.pdn.empty() && !spec.footed && spec.pdn.conducts(pi_high)) {
+    ++race_fights_[gate_index];
+  }
+  if (spec.dual() && !spec.footed2 && spec.pdn2.conducts(pi_high)) {
+    ++race_fights_[gate_index];
+  }
+  // Non-monotone evaluate fall: the previous cycle left the output high
+  // and the precharge bound overruns the precharge window, so the stale
+  // high survives into evaluate and falls when precharge completes.
+  if (prev_output && race_clock_.t_pre > 0.0 &&
+      probe.pre_max + race_clock_.skew > race_clock_.t_pre) {
+    ++race_nonmono_[gate_index];
+  }
+  // Observed discharge arrival: worst-case gate delay on top of the
+  // latest-arriving input that is actually high this cycle — a measured
+  // point inside the static [arrival_min, arrival_max] interval.
+  if (gates_[gate_index].output) {
+    double input_arrival = 0.0;
+    for (const std::uint32_t s : spec.all_leaf_signals()) {
+      if (actual[s]) {
+        input_arrival = std::max(input_arrival, race_arrival_[s]);
+      }
+    }
+    const double arrival = input_arrival + probe.delay_max;
+    race_arrival_[netlist_.signal_of_gate(gate_index)] = arrival;
+    if (race_clock_.t_eval > 0.0) {
+      const double margin = race_clock_.t_eval - race_clock_.skew - arrival;
+      race_margin_[gate_index] = std::min(race_margin_[gate_index], margin);
+    }
+  }
+}
+
+double SoiSimulator::min_handoff_margin(std::uint32_t gate) const {
+  SOIDOM_REQUIRE(!race_probes_.empty(),
+                 "min_handoff_margin: enable_race() was never called");
+  SOIDOM_ASSERT(gate < race_margin_.size());
+  return race_margin_[gate];
+}
+
+int SoiSimulator::nonmonotone_falls(std::uint32_t gate) const {
+  SOIDOM_REQUIRE(!race_probes_.empty(),
+                 "nonmonotone_falls: enable_race() was never called");
+  SOIDOM_ASSERT(gate < race_nonmono_.size());
+  return race_nonmono_[gate];
+}
+
+int SoiSimulator::precharge_fights(std::uint32_t gate) const {
+  SOIDOM_REQUIRE(!race_probes_.empty(),
+                 "precharge_fights: enable_race() was never called");
+  SOIDOM_ASSERT(gate < race_fights_.size());
+  return race_fights_[gate];
 }
 
 void SoiSimulator::observe_droop(const GateModel& gate,

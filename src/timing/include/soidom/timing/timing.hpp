@@ -46,6 +46,13 @@ struct GateTiming {
   double delay_max = 0.0;
   double arrival_min = 0.0;  ///< earliest-possible settling at gate output
   double arrival_max = 0.0;  ///< worst-case settling
+  /// Precharge completion: time from the precharge edge until the dynamic
+  /// node is reliably high again.  Precharge is a single pMOS fighting the
+  /// junction/discharge loading, so the bound grows with pulldown width and
+  /// discharge count but not with stack height, and the floating-body
+  /// uncertainty band applies on the max side only.
+  double pre_min = 0.0;
+  double pre_max = 0.0;
   int floating_body_transistors = 0;
 };
 

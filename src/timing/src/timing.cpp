@@ -111,6 +111,16 @@ TimingReport analyze_timing(const DominoNetlist& netlist,
     t.delay_max =
         nominal + model.body_uncertainty * t.floating_body_transistors;
 
+    const double pre_nominal =
+        model.gate_base + model.per_parallel * width +
+        model.per_fanout * fanout[g] +
+        model.per_discharge *
+            static_cast<double>(gate.discharges.size() +
+                                gate.discharges2.size());
+    t.pre_min = pre_nominal;
+    t.pre_max =
+        pre_nominal + model.body_uncertainty * t.floating_body_transistors;
+
     double in_min = 0.0;
     double in_max = 0.0;
     for (const std::uint32_t sig : gate.all_leaf_signals()) {

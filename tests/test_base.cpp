@@ -109,6 +109,50 @@ TEST(Strings, Percent) {
   EXPECT_EQ(percent(5, 0), "0.00");
 }
 
+TEST(Strings, ParseIntStrict) {
+  int value = -1;
+  EXPECT_TRUE(parse_int_strict("0", &value));
+  EXPECT_EQ(value, 0);
+  EXPECT_TRUE(parse_int_strict("2147483647", &value));
+  EXPECT_EQ(value, 2147483647);
+  EXPECT_TRUE(parse_int_strict("-2147483648", &value));
+  EXPECT_EQ(value, -2147483647 - 1);
+
+  // The malformed inputs CLIs must reject instead of atoi-ing to 0.
+  EXPECT_FALSE(parse_int_strict("", &value));
+  EXPECT_FALSE(parse_int_strict("-", &value));
+  EXPECT_FALSE(parse_int_strict("12x", &value));
+  EXPECT_FALSE(parse_int_strict("max", &value));
+  EXPECT_FALSE(parse_int_strict(" 3", &value));
+  EXPECT_FALSE(parse_int_strict("1.5", &value));
+  EXPECT_FALSE(parse_int_strict("2147483648", &value));   // overflow
+  EXPECT_FALSE(parse_int_strict("-2147483649", &value));  // underflow
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  double value = -1.0;
+  EXPECT_TRUE(parse_double_strict("1", &value));
+  EXPECT_EQ(value, 1.0);
+  EXPECT_TRUE(parse_double_strict("-0.5", &value));
+  EXPECT_EQ(value, -0.5);
+  EXPECT_TRUE(parse_double_strict("2.5e-3", &value));
+  EXPECT_EQ(value, 2.5e-3);
+  EXPECT_TRUE(parse_double_strict("+.25", &value));
+  EXPECT_EQ(value, 0.25);
+
+  // The grammar is plain decimal: no strtod extensions, no garbage.
+  EXPECT_FALSE(parse_double_strict("", &value));
+  EXPECT_FALSE(parse_double_strict("high", &value));
+  EXPECT_FALSE(parse_double_strict("1.5x", &value));
+  EXPECT_FALSE(parse_double_strict(" 1.5", &value));
+  EXPECT_FALSE(parse_double_strict("1..5", &value));
+  EXPECT_FALSE(parse_double_strict("e5", &value));
+  EXPECT_FALSE(parse_double_strict("inf", &value));
+  EXPECT_FALSE(parse_double_strict("nan", &value));
+  EXPECT_FALSE(parse_double_strict("0x1p3", &value));
+  EXPECT_FALSE(parse_double_strict("1e999", &value));  // overflow
+}
+
 TEST(Contracts, RequireThrows) {
   EXPECT_THROW(SOIDOM_REQUIRE(false, "boom"), Error);
   EXPECT_NO_THROW(SOIDOM_REQUIRE(true, "fine"));

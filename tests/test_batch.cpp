@@ -106,8 +106,9 @@ TEST(Ladder, AttemptsEscalateAndSaturate) {
   EXPECT_EQ(ladder_step_for_attempt(2), LadderStep::kDropExact);
   EXPECT_EQ(ladder_step_for_attempt(3), LadderStep::kShrinkVerify);
   EXPECT_EQ(ladder_step_for_attempt(4), LadderStep::kShrinkCsa);
-  EXPECT_EQ(ladder_step_for_attempt(5), LadderStep::kRelaxLimits);
-  EXPECT_EQ(ladder_step_for_attempt(6), LadderStep::kSingleThread);
+  EXPECT_EQ(ladder_step_for_attempt(5), LadderStep::kShrinkRace);
+  EXPECT_EQ(ladder_step_for_attempt(6), LadderStep::kRelaxLimits);
+  EXPECT_EQ(ladder_step_for_attempt(7), LadderStep::kSingleThread);
   EXPECT_EQ(ladder_step_for_attempt(9), LadderStep::kSingleThread);
 }
 
@@ -119,6 +120,8 @@ TEST(Ladder, StepsAreCumulative) {
   base.mapper.max_height = 8;
   base.mapper.num_threads = 0;
   base.csa_options.max_states = 4096;
+  base.race_options.t_eval = 20.0;
+  base.race_options.t_pre = 5.0;
 
   const FlowOptions full = apply_ladder(base, LadderStep::kFull);
   EXPECT_TRUE(full.exact_equivalence);
@@ -139,16 +142,25 @@ TEST(Ladder, StepsAreCumulative) {
   EXPECT_EQ(csa.verify_rounds, 2);
   EXPECT_EQ(csa.csa_options.max_states, 256);
   EXPECT_EQ(csa.mapper.max_width, 5);
+  EXPECT_EQ(csa.race_options.t_eval, 20.0);
+
+  const FlowOptions race = apply_ladder(base, LadderStep::kShrinkRace);
+  EXPECT_EQ(race.csa_options.max_states, 256);
+  EXPECT_EQ(race.race_options.t_eval, 0.0);  // windows unconstrained
+  EXPECT_EQ(race.race_options.t_pre, 0.0);
+  EXPECT_EQ(race.mapper.max_width, 5);
 
   const FlowOptions relax = apply_ladder(base, LadderStep::kRelaxLimits);
   EXPECT_EQ(relax.mapper.max_width, 10);
   EXPECT_EQ(relax.mapper.max_height, 16);
   EXPECT_EQ(relax.csa_options.max_states, 256);
+  EXPECT_EQ(relax.race_options.t_eval, 0.0);
 
   const FlowOptions single = apply_ladder(base, LadderStep::kSingleThread);
   EXPECT_FALSE(single.exact_equivalence);
   EXPECT_EQ(single.verify_rounds, 2);
   EXPECT_EQ(single.csa_options.max_states, 256);
+  EXPECT_EQ(single.race_options.t_pre, 0.0);
   EXPECT_EQ(single.mapper.max_width, 10);
   EXPECT_EQ(single.mapper.num_threads, 1);
 }
@@ -238,6 +250,8 @@ TEST(Wire, EncodeDecodeRoundTripsOk) {
   out.summary = "gates=7 T_total=42\tstructure=ok";  // hostile tab
   out.lint_errors = 2;
   out.lint_warnings = 3;
+  out.analyzer_errors = 4;
+  out.analyzer_warnings = 5;
   const auto decoded =
       batch_detail::decode_attempt_outcome(
           batch_detail::encode_attempt_outcome(out));
@@ -246,6 +260,8 @@ TEST(Wire, EncodeDecodeRoundTripsOk) {
   EXPECT_EQ(decoded->summary, out.summary);
   EXPECT_EQ(decoded->lint_errors, 2);
   EXPECT_EQ(decoded->lint_warnings, 3);
+  EXPECT_EQ(decoded->analyzer_errors, 4);
+  EXPECT_EQ(decoded->analyzer_warnings, 5);
 }
 
 TEST(Wire, EncodeDecodeRoundTripsError) {
@@ -268,6 +284,8 @@ TEST(Wire, EncodeDecodeRoundTripsError) {
 TEST(Wire, GarbageLinesRejected) {
   EXPECT_FALSE(batch_detail::decode_attempt_outcome("").has_value());
   EXPECT_FALSE(batch_detail::decode_attempt_outcome("OK\t1").has_value());
+  // OK records need five payload fields; a legacy 3-field record is torn.
+  EXPECT_FALSE(batch_detail::decode_attempt_outcome("OK\t1\t2\ts").has_value());
   EXPECT_FALSE(
       batch_detail::decode_attempt_outcome("XX\ta\tb\tc").has_value());
   EXPECT_FALSE(
@@ -457,6 +475,62 @@ TEST(BatchIsolate, HungChildIsKilledByTimeout) {
   EXPECT_EQ(result.quarantined, 1);
   EXPECT_EQ(result.jobs[0].record.code, "deadline_exceeded");
   EXPECT_EQ(result.jobs[0].record.stage, "batch_watchdog");
+}
+
+// Analyzer findings (CSA + race) must survive both the child->parent
+// wire in isolate mode and the journal text in resume mode: however a
+// job record was produced, the merged manifest is byte-identical.
+TEST(BatchIsolate, AnalyzerCountsSurviveIsolationAndResume) {
+  const std::vector<BatchJob> jobs = registry_jobs({"z4ml", "decod"});
+
+  BatchOptions base = fast_options();
+  base.flow.csa = true;
+  base.flow.race = true;
+  // Waive the one error-severity CSA rule (these circuits trip it at the
+  // default margin) so the jobs stay green; a tight evaluate window then
+  // makes the race analyzer deterministically emit warnings that must
+  // ride the journal and the isolate wire.
+  base.flow.csa_options.waivers = {"csa.pbe-discharge"};
+  base.flow.race_options.t_eval = 0.5;
+
+  // Reference: in-process, uninterrupted.
+  BatchOptions inproc = base;
+  inproc.journal_path = temp_path("an_ref.jsonl");
+  inproc.manifest_path = temp_path("an_ref.manifest.json");
+  const BatchResult direct = run_batch(jobs, inproc);
+  ASSERT_TRUE(direct.complete());
+  ASSERT_EQ(direct.ok, 2);
+  int findings = 0;
+  for (const JobOutcome& out : direct.jobs) {
+    findings += out.record.analyzer_errors + out.record.analyzer_warnings;
+  }
+  ASSERT_GT(findings, 0) << "fixture must actually produce analyzer findings";
+
+  // Same jobs through forked children: counts cross the wire intact.
+  BatchOptions isolated = base;
+  isolated.isolate = true;
+  isolated.journal_path = temp_path("an_iso.jsonl");
+  isolated.manifest_path = temp_path("an_iso.manifest.json");
+  const BatchResult iso = run_batch(jobs, isolated);
+  ASSERT_TRUE(iso.complete());
+  ASSERT_EQ(iso.ok, 2);
+  EXPECT_EQ(read_file(isolated.manifest_path),
+            read_file(inproc.manifest_path));
+
+  // Resume: z4ml's record is reloaded from journal text, decod runs
+  // fresh, and the merged manifest still matches byte for byte.
+  BatchOptions partial = base;
+  partial.isolate = true;
+  partial.journal_path = temp_path("an_resume.jsonl");
+  partial.manifest_path = temp_path("an_resume.partial.json");
+  ASSERT_EQ(run_batch(registry_jobs({"z4ml"}), partial).ok, 1);
+  partial.resume = true;
+  partial.manifest_path = temp_path("an_resume.manifest.json");
+  const BatchResult resumed = run_batch(jobs, partial);
+  ASSERT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed.resumed, 1);
+  EXPECT_EQ(read_file(partial.manifest_path),
+            read_file(inproc.manifest_path));
 }
 
 // ---------------------------------------------------------------------------

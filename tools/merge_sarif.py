@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Merge SARIF 2.1.0 logs (lint + CSA + race sweeps) into one log, and
+structurally validate every input against the SARIF 2.1.0 shape the
+soidom emitters promise.
+
+Usage:
+    tools/merge_sarif.py [-o merged.sarif] [--validate-only] a.sarif b.sarif ...
+
+Merging: the runs arrays of the inputs are concatenated, then sorted by
+(tool driver name, first artifact URI) so the merged log is byte-stable
+regardless of input file order — CI can cat together artifacts from
+parallel jobs without nondeterminism.  The output is written only after
+every input validates.
+
+Validation is structural (no network, no jsonschema dependency): the
+required SARIF 2.1.0 properties the spec mandates for logs, runs, tools,
+results and locations are checked, plus the invariants the soidom
+emitters rely on (every result's ruleId is declared in the driver's
+rules table; artifact URIs are non-empty strings; severity levels are
+legal).  Exit codes: 0 ok, 1 validation failure, 2 bad invocation /
+unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+LEGAL_LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(errors):
+    for e in errors:
+        print(f"merge_sarif: {e}", file=sys.stderr)
+    return 1
+
+
+def validate_log(log, path):
+    """Return a list of error strings (empty = valid)."""
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    if not isinstance(log, dict):
+        return [f"{path}: top level is not a JSON object"]
+    if log.get("version") != "2.1.0":
+        err(f'"version" must be "2.1.0", got {log.get("version")!r}')
+    schema = log.get("$schema", "")
+    if not isinstance(schema, str) or "sarif" not in schema.lower():
+        err('"$schema" missing or does not reference a SARIF schema')
+    runs = log.get("runs")
+    if not isinstance(runs, list):
+        err('"runs" missing or not an array')
+        return errors
+
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            err(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver")
+        if not isinstance(driver, dict):
+            err(f"{where}.tool.driver missing")
+            continue
+        if not isinstance(driver.get("name"), str) or not driver["name"]:
+            err(f"{where}.tool.driver.name missing or empty")
+        rule_ids = set()
+        for j, rule in enumerate(driver.get("rules", [])):
+            rid = rule.get("id") if isinstance(rule, dict) else None
+            if not isinstance(rid, str) or not rid:
+                err(f"{where}.tool.driver.rules[{j}].id missing")
+            else:
+                rule_ids.add(rid)
+        for j, artifact in enumerate(run.get("artifacts", [])):
+            uri = artifact.get("location", {}).get("uri") \
+                if isinstance(artifact, dict) else None
+            if not isinstance(uri, str) or not uri:
+                err(f"{where}.artifacts[{j}].location.uri missing or empty")
+        results = run.get("results")
+        if not isinstance(results, list):
+            err(f"{where}.results missing or not an array")
+            continue
+        for j, result in enumerate(results):
+            rwhere = f"{where}.results[{j}]"
+            if not isinstance(result, dict):
+                err(f"{rwhere} is not an object")
+                continue
+            rid = result.get("ruleId")
+            if not isinstance(rid, str) or not rid:
+                err(f"{rwhere}.ruleId missing or empty")
+            elif rule_ids and rid not in rule_ids:
+                err(f"{rwhere}.ruleId {rid!r} not declared in driver rules")
+            level = result.get("level")
+            if level is not None and level not in LEGAL_LEVELS:
+                err(f"{rwhere}.level {level!r} not a legal SARIF level")
+            message = result.get("message")
+            if not isinstance(message, dict) or \
+                    not isinstance(message.get("text"), str):
+                err(f"{rwhere}.message.text missing")
+            for k, loc in enumerate(result.get("locations", [])):
+                uri = (loc.get("physicalLocation", {})
+                          .get("artifactLocation", {}).get("uri")
+                       if isinstance(loc, dict) else None)
+                if not isinstance(uri, str) or not uri:
+                    err(f"{rwhere}.locations[{k}] artifact uri missing")
+    return errors
+
+
+def run_sort_key(run):
+    name = run.get("tool", {}).get("driver", {}).get("name", "")
+    artifacts = run.get("artifacts", [])
+    first_uri = ""
+    if artifacts and isinstance(artifacts[0], dict):
+        first_uri = artifacts[0].get("location", {}).get("uri", "")
+    rules = run.get("tool", {}).get("driver", {}).get("rules", [])
+    first_rule = rules[0].get("id", "") if rules and \
+        isinstance(rules[0], dict) else ""
+    # (name, uri, rule) can still collide (e.g. two analyzers sharing a
+    # driver and rule family on the same circuit); fall back to the run's
+    # canonical JSON so the order is total and input-order independent.
+    return (name, first_uri, first_rule, json.dumps(run, sort_keys=True))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Merge + validate SARIF 2.1.0 logs")
+    parser.add_argument("inputs", nargs="+", help="SARIF files to merge")
+    parser.add_argument("-o", "--output", default="merged.sarif",
+                        help="merged output path (default merged.sarif)")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="validate the inputs, write nothing")
+    args = parser.parse_args()
+
+    logs = []
+    for path in args.inputs:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                logs.append((path, json.load(f)))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"merge_sarif: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+
+    errors = []
+    for path, log in logs:
+        errors.extend(validate_log(log, path))
+    if errors:
+        return fail(errors)
+
+    total_runs = sum(len(log["runs"]) for _, log in logs)
+    total_results = sum(len(run.get("results", []))
+                        for _, log in logs for run in log["runs"])
+    if args.validate_only:
+        print(f"merge_sarif: {len(logs)} file(s) valid "
+              f"({total_runs} runs, {total_results} results)")
+        return 0
+
+    merged_runs = [run for _, log in logs for run in log["runs"]]
+    # Stable artifact ordering: sort by (driver name, first artifact URI)
+    # with a stable sort, so same inputs in any order -> same bytes out.
+    merged_runs.sort(key=run_sort_key)
+    merged = {
+        "$schema": logs[0][1]["$schema"],
+        "version": "2.1.0",
+        "runs": merged_runs,
+    }
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(merged, f, separators=(",", ":"), sort_keys=False)
+        f.write("\n")
+    print(f"merge_sarif: wrote {args.output} "
+          f"({total_runs} runs, {total_results} results)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
