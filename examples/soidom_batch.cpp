@@ -249,6 +249,10 @@ int main(int argc, char** argv) {
     return 64;
   }
 
+  for (const Diagnostic& warn : result.resume_warnings) {
+    std::fprintf(stderr, "warning: %s\n", warn.to_string().c_str());
+  }
+
   int not_run = 0;
   for (const JobOutcome& out : result.jobs) not_run += out.terminal ? 0 : 1;
   std::printf(

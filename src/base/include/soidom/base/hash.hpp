@@ -1,0 +1,29 @@
+/// \file hash.hpp
+/// Small non-cryptographic hashes shared across the library.
+///
+/// crc32() is the IEEE 802.3 reflected CRC-32 (the one zlib, gzip and PNG
+/// use) — the per-record integrity check for the append-only journals
+/// (batch run journal, serve cone-cache spill).  fnv1a64() is FNV-1a,
+/// used where a cheap well-mixed 64-bit content hash is wanted (cache
+/// sharding and indexing).  Neither is collision-resistant against an
+/// adversary; callers that must never act on a colliding key store and
+/// compare the full key text (see docs/SERVE.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace soidom {
+
+/// IEEE reflected CRC-32 over `data`, seeded so that crc32("") == 0.
+/// `seed` allows incremental computation: crc32(b, crc32(a)) ==
+/// crc32(a+b).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// 64-bit FNV-1a over `data`.  `seed` defaults to the FNV offset basis;
+/// passing a previous result chains the hash over multiple fragments.
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+}  // namespace soidom

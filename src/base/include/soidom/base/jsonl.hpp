@@ -1,0 +1,36 @@
+/// \file jsonl.hpp
+/// The checksummed append-only JSONL record idiom shared by the batch
+/// run journal (batch/journal.hpp) and the serve cone-cache spill
+/// (serve/cache.hpp).
+///
+/// A record is one flat JSON object per line.  jsonl_with_crc() turns
+/// `{...}` into `{...,"crc":"xxxxxxxx"}` where the CRC-32 covers the
+/// line text before the crc field; jsonl_check() classifies a line read
+/// back.  Appends go through fileio.hpp AppendFile (single write(2) +
+/// fsync), so a crash tears at most the final line — and with the
+/// checksum, a tear *anywhere* in a record (or bit rot at rest) is
+/// detected instead of being half-parsed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace soidom {
+
+/// Append the integrity field: `{...}` -> `{...,"crc":"xxxxxxxx"}`.
+/// Requires a non-empty line ending in '}'.
+std::string jsonl_with_crc(const std::string& line);
+
+/// Integrity classification of one JSONL line.
+enum class JsonlCheck {
+  kNoCrc,    ///< no "crc" field (legacy record or torn line)
+  kValid,    ///< checksum present and correct
+  kCorrupt,  ///< checksum present but wrong, or malformed
+};
+
+/// Locate and verify the trailing crc field.  Searches from the end:
+/// json_escape turns every '"' inside string values into '\"', so the
+/// literal `,"crc":"` needle can only be the appended field.
+JsonlCheck jsonl_check(std::string_view line);
+
+}  // namespace soidom

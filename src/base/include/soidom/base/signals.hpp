@@ -1,0 +1,44 @@
+/// \file signals.hpp
+/// One audited sigaction() installation for graceful SIGINT/SIGTERM,
+/// shared by every front end (blif2domino, asic_flow, soidom_batch,
+/// soidom_serve) via soidom/batch/signals.hpp.
+///
+/// The previous per-main std::signal() installation had two races:
+/// System-V style handler reset (on some platforms the disposition
+/// reverts to SIG_DFL *before* the handler runs, so two quick signals
+/// could kill the process without flushing journals), and interrupted
+/// slow syscalls (without SA_RESTART, a SIGINT during a blocking
+/// write(2) to the journal surfaces as a spurious EINTR failure at a
+/// random call site).  sigaction() with SA_RESTART fixes both: the
+/// disposition stays installed until we deliberately restore SIG_DFL,
+/// and interruptible syscalls resume — cancellation is delivered
+/// cooperatively through the hook (which trips a CancelToken polled at
+/// guard checkpoints), never by torn I/O.  Event loops that must wake
+/// up promptly (the serve accept loop) poll with short timeouts instead
+/// of relying on EINTR.
+///
+/// The handler itself is async-signal-safe: it records the signal
+/// number, invokes the registered hook (which must itself be
+/// async-signal-safe — an atomic store), and re-installs SIG_DFL so a
+/// second signal kills the process the usual way.
+#pragma once
+
+namespace soidom {
+
+/// Async-signal-safe callback invoked from the handler with the signal
+/// number.  Must only perform lock-free operations (atomic stores).
+using SignalHook = void (*)(int signum);
+
+/// Idempotently install SIGINT/SIGTERM handlers with SA_RESTART.
+/// `hook` may be null; a non-null hook replaces the previous one (the
+/// last registration wins process-wide).
+void install_signal_handlers(SignalHook hook);
+
+/// Signal number recorded by the handler so far, or 0.
+int raw_signal_received();
+
+/// Testing hook: clear the recorded signal and re-arm the handlers with
+/// the current hook.
+void reset_raw_signal_state_for_testing();
+
+}  // namespace soidom

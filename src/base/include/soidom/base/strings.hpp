@@ -33,6 +33,23 @@ std::string json_unescape(std::string_view text);
 /// Format a ratio as a percentage with two decimals, e.g. "53.00".
 std::string percent(double numerator, double denominator);
 
+/// Extract the string value of `"key":"..."` from one flat JSON record
+/// this library wrote itself (keys are never escaped, values via
+/// json_escape).  Returns false when the key is absent or the string is
+/// unterminated (a torn line).  Not a general JSON parser: it is the
+/// shared field extractor of the JSONL journal / wire formats (batch
+/// journal, serve protocol), which never nest objects inside values.
+bool json_find_string(std::string_view line, std::string_view key,
+                      std::string* out);
+
+/// Extract the integer value of `"key":N`.  Returns false when absent or
+/// not followed by a decimal integer.
+bool json_find_int(std::string_view line, std::string_view key, int* out);
+
+/// 64-bit variant of json_find_int (deadlines, byte counts).
+bool json_find_int64(std::string_view line, std::string_view key,
+                     long long* out);
+
 /// Strict decimal-integer parse for CLI option values: the whole of `text`
 /// must be a base-10 integer fitting in int (optional leading '-').
 /// Returns false on empty input, trailing junk, or overflow — unlike

@@ -1,0 +1,43 @@
+#include "soidom/base/hash.hpp"
+
+#include <array>
+
+namespace soidom {
+namespace {
+
+/// Table for the reflected polynomial 0xEDB88320, built once at startup.
+/// A software table keeps the function portable (no SSE4.2 requirement)
+/// and the journals it protects are small relative to mapping time.
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char ch : data) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x00000100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace soidom

@@ -1,0 +1,38 @@
+#include "soidom/base/jsonl.hpp"
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/base/hash.hpp"
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+
+std::string jsonl_with_crc(const std::string& line) {
+  SOIDOM_ASSERT(!line.empty() && line.back() == '}');
+  const std::string body = line.substr(0, line.size() - 1);
+  return body + format(R"(,"crc":"%08x"})", crc32(body));
+}
+
+JsonlCheck jsonl_check(std::string_view line) {
+  const std::string_view needle = R"(,"crc":")";
+  const std::size_t at = line.rfind(needle);
+  if (at == std::string_view::npos) return JsonlCheck::kNoCrc;
+  const std::size_t hex_at = at + needle.size();
+  // Expect exactly 8 hex digits, a quote, and the closing brace.
+  if (line.size() != hex_at + 10 || line[hex_at + 8] != '"' ||
+      line[hex_at + 9] != '}') {
+    return JsonlCheck::kCorrupt;
+  }
+  std::uint32_t recorded = 0;
+  for (std::size_t i = hex_at; i < hex_at + 8; ++i) {
+    const char c = line[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return JsonlCheck::kCorrupt;
+    recorded = recorded * 16 + static_cast<std::uint32_t>(digit);
+  }
+  return crc32(line.substr(0, at)) == recorded ? JsonlCheck::kValid
+                                               : JsonlCheck::kCorrupt;
+}
+
+}  // namespace soidom

@@ -1,0 +1,56 @@
+#include "soidom/base/signals.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace soidom {
+namespace {
+
+std::atomic<int> g_signal{0};
+std::atomic<SignalHook> g_hook{nullptr};
+
+void on_signal(int signum) {
+  g_signal.store(signum, std::memory_order_relaxed);
+  const SignalHook hook = g_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(signum);
+  // Deliberately restore the default disposition (BSD semantics keep the
+  // handler installed otherwise): a repeat of the same signal force-kills
+  // a wedged run.  sigaction is async-signal-safe per POSIX.
+  struct sigaction dfl;
+  sigemptyset(&dfl.sa_mask);
+  dfl.sa_handler = SIG_DFL;
+  dfl.sa_flags = 0;
+  sigaction(signum, &dfl, nullptr);
+}
+
+void arm(int signum) {
+  struct sigaction sa;
+  sigemptyset(&sa.sa_mask);
+  // Block the sibling signal while the handler runs so an interleaved
+  // SIGINT+SIGTERM pair cannot run two handlers concurrently.
+  sigaddset(&sa.sa_mask, SIGINT);
+  sigaddset(&sa.sa_mask, SIGTERM);
+  sa.sa_handler = on_signal;
+  sa.sa_flags = SA_RESTART;
+  sigaction(signum, &sa, nullptr);
+}
+
+}  // namespace
+
+void install_signal_handlers(SignalHook hook) {
+  if (hook != nullptr) g_hook.store(hook, std::memory_order_release);
+  arm(SIGINT);
+  arm(SIGTERM);
+}
+
+int raw_signal_received() {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+void reset_raw_signal_state_for_testing() {
+  g_signal.store(0, std::memory_order_relaxed);
+  install_signal_handlers(nullptr);
+}
+
+}  // namespace soidom

@@ -140,6 +140,58 @@ bool parse_int_strict(std::string_view text, int* out) {
   return true;
 }
 
+bool json_find_string(std::string_view line, std::string_view key,
+                      std::string* out) {
+  const std::string needle =
+      format("\"%.*s\":\"", int(key.size()), key.data());
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + needle.size();
+  std::string raw;
+  while (i < line.size()) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      raw += line[i];
+      raw += line[i + 1];
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"') {
+      *out = json_unescape(raw);
+      return true;
+    }
+    raw += line[i++];
+  }
+  return false;  // unterminated string: torn line
+}
+
+bool json_find_int64(std::string_view line, std::string_view key,
+                     long long* out) {
+  const std::string needle = format("\"%.*s\":", int(key.size()), key.data());
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + needle.size();
+  bool negative = false;
+  if (i < line.size() && line[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  long long value = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    value = value * 10 + (line[i] - '0');
+    ++i;
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+bool json_find_int(std::string_view line, std::string_view key, int* out) {
+  long long value = 0;
+  if (!json_find_int64(line, key, &value)) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
 bool parse_double_strict(std::string_view text, double* out) {
   if (text.empty()) return false;
   // std::strtod accepts "inf"/"nan"/hex floats and leading whitespace;

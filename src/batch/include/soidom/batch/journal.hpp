@@ -15,6 +15,15 @@
 ///   {"type":"done", ...}     terminal state of one job — the records
 ///                            --resume and the manifest are built from
 ///
+/// Since schema 2 the header carries "schema":2 and every record ends
+/// with a "crc" field: the CRC-32 (base/hash.hpp) of the line text up to
+/// that field.  The loader verifies checksums wherever they appear, so a
+/// record torn *mid-line* by a crash (not just at the end) or corrupted
+/// at rest is detected, skipped, and reported as a structured warning —
+/// it can no longer be half-parsed into a bogus terminal state.  Journals
+/// written before schema 2 (no header schema, no crc fields) still load;
+/// they just keep the weaker ignore-unparsable-lines behavior.
+///
 /// Wall-clock timings ("ms") appear only in the journal, never in the
 /// manifest: the manifest is a pure function of the deterministic job
 /// outcomes, so an interrupted-then-resumed run produces a manifest
@@ -25,6 +34,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "soidom/guard/diagnostic.hpp"
@@ -92,10 +102,38 @@ class RunJournal {
   std::unique_ptr<Impl> impl_;
 };
 
+/// The current journal schema version written by RunJournal.
+inline constexpr int kJournalSchema = 2;
+
+/// Result of a checked journal load: the terminal records plus
+/// structured warnings for every record the loader had to skip
+/// (CRC mismatch, or a missing checksum in a schema>=2 journal).
+struct JournalLoad {
+  std::map<std::string, JobRecord> records;
+  std::vector<Diagnostic> warnings;  ///< one per skipped record
+  int schema = 1;                    ///< from the latest run header
+  int corrupt_records = 0;           ///< lines skipped for integrity
+};
+
 /// Parse the terminal ("done") records of a journal file; the last
-/// record per job wins.  A missing file yields an empty map; a torn or
-/// foreign trailing line is ignored.
+/// record per job wins.  A missing file yields an empty map.  Records
+/// with checksums are verified; a corrupt or (in a schema>=2 journal)
+/// torn record is skipped and reported in `warnings` instead of being
+/// half-parsed or silently dropped.
+JournalLoad load_journal_checked(const std::string& path);
+
+/// Records-only convenience wrapper around load_journal_checked.
 std::map<std::string, JobRecord> load_journal(const std::string& path);
+
+/// The deterministic fields of one "done" record / manifest entry, as a
+/// brace-less JSON fragment.  Shared by the journal, the manifest, and
+/// the serve wire protocol (serve/protocol.hpp) so a record round-trips
+/// byte-identically across all three surfaces.
+std::string job_record_fields_json(const JobRecord& r);
+
+/// Inverse of job_record_fields_json over a flat JSON line.  Returns
+/// false when the mandatory job/status fields are missing or invalid.
+bool parse_job_record_fields(std::string_view line, JobRecord* out);
 
 /// Render the deterministic merged manifest for `records` (sorted by
 /// job key; "ms" excluded).

@@ -125,6 +125,11 @@ struct BatchResult {
   /// run and a later --resume will pick them up.
   std::optional<Diagnostic> aborted;
   int interrupted_by_signal = 0;  ///< signum, or 0
+  /// Corrupt or torn journal records skipped while loading the prior
+  /// journal for --resume (journal.hpp JournalLoad::warnings).  The jobs
+  /// they described simply rerun; the warnings exist so an operator can
+  /// see that the journal was damaged.
+  std::vector<Diagnostic> resume_warnings;
 
   bool complete() const { return !aborted && interrupted_by_signal == 0; }
 };

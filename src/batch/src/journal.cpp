@@ -3,57 +3,13 @@
 #include <fstream>
 
 #include "soidom/base/fileio.hpp"
+#include "soidom/base/hash.hpp"
+#include "soidom/base/jsonl.hpp"
 #include "soidom/base/strings.hpp"
 #include "soidom/guard/fault.hpp"
 
 namespace soidom {
 namespace {
-
-/// Extract the string value of `"key":"..."` from one JSONL record we
-/// wrote ourselves (keys are never escaped, values via json_escape).
-/// Returns false when the key is absent.
-bool find_string_field(std::string_view line, std::string_view key,
-                       std::string* out) {
-  const std::string needle = format("\"%.*s\":\"", int(key.size()), key.data());
-  const std::size_t at = line.find(needle);
-  if (at == std::string_view::npos) return false;
-  std::size_t i = at + needle.size();
-  std::string raw;
-  while (i < line.size()) {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      raw += line[i];
-      raw += line[i + 1];
-      i += 2;
-      continue;
-    }
-    if (line[i] == '"') {
-      *out = json_unescape(raw);
-      return true;
-    }
-    raw += line[i++];
-  }
-  return false;  // unterminated string: torn line
-}
-
-bool find_int_field(std::string_view line, std::string_view key, int* out) {
-  const std::string needle = format("\"%.*s\":", int(key.size()), key.data());
-  const std::size_t at = line.find(needle);
-  if (at == std::string_view::npos) return false;
-  std::size_t i = at + needle.size();
-  bool negative = false;
-  if (i < line.size() && line[i] == '-') {
-    negative = true;
-    ++i;
-  }
-  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
-  long value = 0;
-  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
-    value = value * 10 + (line[i] - '0');
-    ++i;
-  }
-  *out = static_cast<int>(negative ? -value : value);
-  return true;
-}
 
 bool parse_status(const std::string& text, JobStatus* out) {
   if (text == "ok") *out = JobStatus::kOk;
@@ -63,8 +19,9 @@ bool parse_status(const std::string& text, JobStatus* out) {
   return true;
 }
 
-/// The deterministic fields of one "done" record / manifest entry.
-std::string job_fields_json(const JobRecord& r) {
+}  // namespace
+
+std::string job_record_fields_json(const JobRecord& r) {
   return format(
       R"("job":"%s","status":"%s","attempts":%d,"ladder":"%s",)"
       R"("code":"%s","stage":"%s","message":"%s","summary":"%s",)"
@@ -77,7 +34,27 @@ std::string job_fields_json(const JobRecord& r) {
       r.analyzer_errors, r.analyzer_warnings);
 }
 
-}  // namespace
+bool parse_job_record_fields(std::string_view line, JobRecord* out) {
+  JobRecord r;
+  std::string status;
+  if (!json_find_string(line, "job", &r.job) || r.job.empty()) return false;
+  if (!json_find_string(line, "status", &status) ||
+      !parse_status(status, &r.status)) {
+    return false;
+  }
+  json_find_int(line, "attempts", &r.attempts);
+  json_find_string(line, "ladder", &r.ladder);
+  json_find_string(line, "code", &r.code);
+  json_find_string(line, "stage", &r.stage);
+  json_find_string(line, "message", &r.message);
+  json_find_string(line, "summary", &r.summary);
+  json_find_int(line, "lint_errors", &r.lint_errors);
+  json_find_int(line, "lint_warnings", &r.lint_warnings);
+  json_find_int(line, "analyzer_errors", &r.analyzer_errors);
+  json_find_int(line, "analyzer_warnings", &r.analyzer_warnings);
+  *out = std::move(r);
+  return true;
+}
 
 const char* job_status_name(JobStatus status) {
   switch (status) {
@@ -104,9 +81,9 @@ const std::string& RunJournal::path() const { return impl_->file.path(); }
 void RunJournal::append_header(std::size_t num_jobs, bool isolate,
                                int max_attempts) {
   SOIDOM_FAULT_PROBE(FlowStage::kBatchJournal);
-  impl_->file.append_line(
-      format(R"({"type":"batch","jobs":%zu,"isolate":%d,"max_attempts":%d})",
-             num_jobs, isolate ? 1 : 0, max_attempts));
+  impl_->file.append_line(jsonl_with_crc(format(
+      R"({"type":"batch","schema":%d,"jobs":%zu,"isolate":%d,"max_attempts":%d})",
+      kJournalSchema, num_jobs, isolate ? 1 : 0, max_attempts)));
 }
 
 void RunJournal::append_attempt(const std::string& job,
@@ -123,43 +100,61 @@ void RunJournal::append_attempt(const std::string& job,
                    json_escape(a.diagnostic->message).c_str());
   }
   line += format(R"(,"ms":%.3f})", a.ms);
-  impl_->file.append_line(line);
+  impl_->file.append_line(jsonl_with_crc(line));
 }
 
 void RunJournal::append_done(const JobRecord& record) {
   SOIDOM_FAULT_PROBE(FlowStage::kBatchJournal);
-  impl_->file.append_line(format(R"({"type":"done",%s,"ms":%.3f})",
-                                 job_fields_json(record).c_str(), record.ms));
+  impl_->file.append_line(
+      jsonl_with_crc(format(R"({"type":"done",%s,"ms":%.3f})",
+                      job_record_fields_json(record).c_str(), record.ms)));
+}
+
+JournalLoad load_journal_checked(const std::string& path) {
+  JournalLoad out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;
+  std::string line;
+  int line_no = 0;
+  auto skip = [&](const char* why) {
+    ++out.corrupt_records;
+    out.warnings.push_back(Diagnostic{
+        ErrorCode::kParseError, FlowStage::kBatchJournal,
+        format("journal %s line %d %s; record skipped", path.c_str(),
+               line_no, why),
+        {}});
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const JsonlCheck check = jsonl_check(line);
+    if (check == JsonlCheck::kCorrupt) {
+      skip("failed its CRC check (corrupt or torn mid-record)");
+      continue;
+    }
+    if (check == JsonlCheck::kNoCrc && out.schema >= 2) {
+      // A schema>=2 writer checksums every line, so an unchecksummed one
+      // is a torn write (or foreign edit), not a legacy record.
+      skip("has no checksum (torn write)");
+      continue;
+    }
+    std::string type;
+    if (!json_find_string(line, "type", &type)) continue;
+    if (type == "batch") {
+      int schema = 1;
+      if (json_find_int(line, "schema", &schema)) out.schema = schema;
+      continue;
+    }
+    if (type != "done") continue;
+    JobRecord r;
+    if (!parse_job_record_fields(line, &r)) continue;
+    out.records[r.job] = r;  // last record per job wins
+  }
+  return out;
 }
 
 std::map<std::string, JobRecord> load_journal(const std::string& path) {
-  std::map<std::string, JobRecord> records;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return records;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string type;
-    if (!find_string_field(line, "type", &type) || type != "done") continue;
-    JobRecord r;
-    std::string status;
-    if (!find_string_field(line, "job", &r.job) || r.job.empty()) continue;
-    if (!find_string_field(line, "status", &status) ||
-        !parse_status(status, &r.status)) {
-      continue;
-    }
-    find_int_field(line, "attempts", &r.attempts);
-    find_string_field(line, "ladder", &r.ladder);
-    find_string_field(line, "code", &r.code);
-    find_string_field(line, "stage", &r.stage);
-    find_string_field(line, "message", &r.message);
-    find_string_field(line, "summary", &r.summary);
-    find_int_field(line, "lint_errors", &r.lint_errors);
-    find_int_field(line, "lint_warnings", &r.lint_warnings);
-    find_int_field(line, "analyzer_errors", &r.analyzer_errors);
-    find_int_field(line, "analyzer_warnings", &r.analyzer_warnings);
-    records[r.job] = r;  // last record per job wins
-  }
-  return records;
+  return load_journal_checked(path).records;
 }
 
 std::string manifest_json(const std::map<std::string, JobRecord>& records) {
@@ -174,7 +169,7 @@ std::string manifest_json(const std::map<std::string, JobRecord>& records) {
       case JobStatus::kQuarantined: ++quarantined; break;
     }
     if (!jobs.empty()) jobs += ",\n  ";
-    jobs += "{" + job_fields_json(r) + "}";
+    jobs += "{" + job_record_fields_json(r) + "}";
   }
   const std::string body =
       jobs.empty() ? "[]" : format("[\n  %s\n]", jobs.c_str());

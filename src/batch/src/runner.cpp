@@ -370,7 +370,11 @@ BatchResult run_batch(const std::vector<BatchJob>& jobs,
   }
 
   std::map<std::string, JobRecord> prior;
-  if (options.resume) prior = load_journal(options.journal_path);
+  if (options.resume) {
+    JournalLoad loaded = load_journal_checked(options.journal_path);
+    prior = std::move(loaded.records);
+    result.resume_warnings = std::move(loaded.warnings);
+  }
 
   std::optional<RunJournal> journal;
   std::atomic<bool> abort{false};

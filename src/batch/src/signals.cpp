@@ -1,13 +1,9 @@
 #include "soidom/batch/signals.hpp"
 
-#include <csignal>
-
-#include <atomic>
+#include "soidom/base/signals.hpp"
 
 namespace soidom {
 namespace {
-
-std::atomic<int> g_signal{0};
 
 /// One process-wide token, created before handlers are installed so the
 /// handler only performs an atomic store (no allocation, no locking).
@@ -16,31 +12,29 @@ CancelToken& global_token() {
   return token;
 }
 
-void on_signal(int signum) {
-  g_signal.store(signum, std::memory_order_relaxed);
-  global_token().request_cancel();
-  // A repeat delivery of the same signal falls through to the default
-  // disposition: the user can always force-kill a wedged run.
-  std::signal(signum, SIG_DFL);
-}
+/// Async-signal-safe hook: CancelToken::request_cancel is a relaxed
+/// atomic store on a pre-allocated flag.  The sigaction + SA_RESTART
+/// mechanics (and the restore-to-SIG_DFL-on-repeat policy) live in
+/// soidom/base/signals.hpp so all four CLIs share one audited
+/// installation.
+void trip_cancel(int /*signum*/) { global_token().request_cancel(); }
 
 }  // namespace
 
 void install_signal_cancel() {
   (void)global_token();  // construct before any signal can arrive
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
+  install_signal_handlers(&trip_cancel);
 }
 
 CancelToken signal_cancel_token() { return global_token(); }
 
-int signal_received() { return g_signal.load(std::memory_order_relaxed); }
+int signal_received() { return raw_signal_received(); }
 
 int signal_exit_code(int signum) { return signum > 0 ? 128 + signum : 1; }
 
 void reset_signal_state_for_testing() {
-  g_signal.store(0, std::memory_order_relaxed);
   global_token() = CancelToken();  // fresh flag for the next test
+  reset_raw_signal_state_for_testing();
   install_signal_cancel();
 }
 

@@ -10,6 +10,7 @@
 /// remain available through their own modules for finer control.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -22,6 +23,7 @@
 #include "soidom/guard/diagnostic.hpp"
 #include "soidom/guard/guard.hpp"
 #include "soidom/lint/lint.hpp"
+#include "soidom/mapper/cone.hpp"
 #include "soidom/mapper/mapper.hpp"
 #include "soidom/network/network.hpp"
 #include "soidom/race/race.hpp"
@@ -73,6 +75,14 @@ struct FlowOptions {
   /// Additionally attempt exact BDD equivalence (skipped on blow-up).
   bool exact_equivalence = false;
   std::size_t bdd_node_limit = 1u << 22;
+  /// Optional content-addressed cone cache consulted at the kMap stage
+  /// (mapper/cone.hpp).  A hit returns the previously mapped netlist
+  /// byte-identically; a miss (or a corrupt cached value) falls through
+  /// to the DP and stores the fresh result.  Null disables caching.
+  /// The cache only shortcuts the mapper — every downstream stage (post
+  /// passes, lint, CSA, race, verification) still runs on the cached
+  /// netlist, so a hit changes latency, never the outcome.
+  std::shared_ptr<MapConeCache> map_cache;
 };
 
 struct FlowResult {

@@ -56,9 +56,31 @@ void run_stages(const Network& source, const FlowOptions& options,
   mopts.engine = options.variant == FlowVariant::kSoiDominoMap
                      ? MappingEngine::kSoiDominoMap
                      : MappingEngine::kDominoMap;
+  // Run the DP through the optional cone cache.  A hit must be
+  // byte-identical to a recompute by construction (the key is an exact
+  // serialization of the mapper's input — mapper/cone.hpp); a corrupt
+  // cached payload is treated as a miss, so the cache can shorten the
+  // map stage but never change it.  Infeasible limits throw before the
+  // store, so only feasible mappings are ever cached.
+  auto run_map = [&](const MapperOptions& effective) -> MappingResult {
+    if (options.map_cache == nullptr) {
+      return map_to_domino(result.unate, effective);
+    }
+    const ConeKey key = cone_key(result.unate, effective);
+    if (std::optional<CachedMapping> hit = options.map_cache->lookup(key)) {
+      try {
+        return mapping_from_cached(*hit);
+      } catch (const std::exception&) {
+        // Undecodable value: fall through to the DP and overwrite it.
+      }
+    }
+    MappingResult fresh = map_to_domino(result.unate, effective);
+    options.map_cache->store(key, cached_from_mapping(fresh));
+    return fresh;
+  };
   MappingResult mapped;
   try {
-    mapped = map_to_domino(result.unate, mopts);
+    mapped = run_map(mopts);
   } catch (const GuardError& e) {
     if (e.code() != ErrorCode::kInfeasibleLimits ||
         gopts.on_infeasible_limits != FallbackAction::kRetryRelaxed) {
@@ -70,7 +92,7 @@ void run_stages(const Network& source, const FlowOptions& options,
     out.warnings.push_back(warning_from(
         e, format("retried once with relaxed limits W<=%d H<=%d",
                   relaxed.max_width, relaxed.max_height)));
-    mapped = map_to_domino(result.unate, relaxed);
+    mapped = run_map(relaxed);
     mopts = relaxed;  // downstream stages see the effective limits
   }
   // Surface mapper warnings (e.g. a clamped num_threads request) through

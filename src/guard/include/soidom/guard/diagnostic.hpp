@@ -40,11 +40,19 @@ enum class FlowStage : std::uint8_t {
   kBatchJournal,     ///< run-journal append / manifest write
   kBatchSpawn,       ///< forking an isolated job subprocess
   kBatchWatchdog,    ///< per-job wall-clock watchdog firing
+  // Mapping-service stages (serve/server.hpp): the socket front end and
+  // the persistent cone cache.  Probes here let tests prove a cache or
+  // transport failure degrades to recompute / structured error, never to
+  // a wrong mapping (docs/SERVE.md).
+  kServeAccept,      ///< socket accept / request admission
+  kServeCacheRead,   ///< cone-cache lookup (memory or spill decode)
+  kServeCacheSpill,  ///< cone-cache spill append / flush
+  kServeDrain,       ///< graceful drain on SIGINT/SIGTERM
 };
 
 /// Number of FlowStage values (for tables indexed by stage).
 inline constexpr std::size_t kFlowStageCount =
-    static_cast<std::size_t>(FlowStage::kBatchWatchdog) + 1;
+    static_cast<std::size_t>(FlowStage::kServeDrain) + 1;
 
 /// Stable lower-case identifier, e.g. "verify_function".
 const char* flow_stage_name(FlowStage stage);

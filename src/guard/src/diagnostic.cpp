@@ -23,6 +23,10 @@ const char* flow_stage_name(FlowStage stage) {
     case FlowStage::kBatchJournal: return "batch_journal";
     case FlowStage::kBatchSpawn: return "batch_spawn";
     case FlowStage::kBatchWatchdog: return "batch_watchdog";
+    case FlowStage::kServeAccept: return "serve_accept";
+    case FlowStage::kServeCacheRead: return "serve_cache_read";
+    case FlowStage::kServeCacheSpill: return "serve_cache_spill";
+    case FlowStage::kServeDrain: return "serve_drain";
   }
   return "unknown";
 }

@@ -1,0 +1,110 @@
+#include "soidom/serve/protocol.hpp"
+
+#include "soidom/base/strings.hpp"
+
+namespace soidom {
+
+bool parse_request(std::string_view line, ServeRequest* out,
+                   std::string* error) {
+  ServeRequest r;
+  std::string type = "map";  // "type" may be omitted; map is the default
+  json_find_string(line, "type", &type);
+  if (type == "map") {
+    r.kind = ServeRequest::Kind::kMap;
+  } else if (type == "stats") {
+    r.kind = ServeRequest::Kind::kStats;
+  } else if (type == "ping") {
+    r.kind = ServeRequest::Kind::kPing;
+  } else {
+    *error = format("unknown request type \"%s\"", type.c_str());
+    return false;
+  }
+  json_find_string(line, "id", &r.id);
+  json_find_string(line, "circuit", &r.circuit);
+  json_find_string(line, "blif_path", &r.blif_path);
+  long long deadline = 0;
+  if (json_find_int64(line, "deadline_ms", &deadline)) {
+    if (deadline < 0) {
+      *error = format("deadline_ms = %lld is invalid (need >= 0)", deadline);
+      return false;
+    }
+    r.deadline_ms = deadline;
+  }
+  if (r.kind == ServeRequest::Kind::kMap) {
+    if (r.circuit.empty() == r.blif_path.empty()) {
+      *error = "a map request needs exactly one of \"circuit\" or "
+               "\"blif_path\"";
+      return false;
+    }
+  }
+  *out = std::move(r);
+  return true;
+}
+
+std::string request_json(const ServeRequest& request) {
+  const char* type = "map";
+  switch (request.kind) {
+    case ServeRequest::Kind::kMap: type = "map"; break;
+    case ServeRequest::Kind::kStats: type = "stats"; break;
+    case ServeRequest::Kind::kPing: type = "ping"; break;
+  }
+  std::string line = format(R"({"type":"%s","id":"%s")", type,
+                            json_escape(request.id).c_str());
+  if (!request.circuit.empty()) {
+    line += format(R"(,"circuit":"%s")", json_escape(request.circuit).c_str());
+  }
+  if (!request.blif_path.empty()) {
+    line +=
+        format(R"(,"blif_path":"%s")", json_escape(request.blif_path).c_str());
+  }
+  if (request.deadline_ms > 0) {
+    line += format(R"(,"deadline_ms":%lld)",
+                   static_cast<long long>(request.deadline_ms));
+  }
+  line += "}";
+  return line;
+}
+
+std::string response_result(const std::string& id, const JobRecord& record) {
+  return format(R"({"type":"result","id":"%s",%s})", json_escape(id).c_str(),
+                job_record_fields_json(record).c_str());
+}
+
+std::string response_error(const std::string& id, const std::string& code,
+                           const std::string& stage,
+                           const std::string& message) {
+  return format(
+      R"({"type":"error","id":"%s","code":"%s","stage":"%s","message":"%s"})",
+      json_escape(id).c_str(), json_escape(code).c_str(),
+      json_escape(stage).c_str(), json_escape(message).c_str());
+}
+
+std::string response_stats(const std::string& id,
+                           const std::string& cache_json,
+                           const std::string& server_json) {
+  return format(R"({"type":"stats","id":"%s","cache":%s,"server":%s})",
+                json_escape(id).c_str(), cache_json.c_str(),
+                server_json.c_str());
+}
+
+std::string response_pong(const std::string& id) {
+  return format(R"({"type":"pong","id":"%s"})", json_escape(id).c_str());
+}
+
+bool parse_response(std::string_view line, ServeResponse* out) {
+  ServeResponse r;
+  r.raw = std::string(line);
+  if (!json_find_string(line, "type", &r.kind)) return false;
+  json_find_string(line, "id", &r.id);
+  if (r.kind == "result") {
+    if (!parse_job_record_fields(line, &r.record)) return false;
+  } else if (r.kind == "error") {
+    json_find_string(line, "code", &r.code);
+    json_find_string(line, "stage", &r.stage);
+    json_find_string(line, "message", &r.message);
+  }
+  *out = std::move(r);
+  return true;
+}
+
+}  // namespace soidom

@@ -18,6 +18,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -198,6 +199,120 @@ TEST(Journal, LoadToleratesTornTrailingLineAndForeignRecords) {
   EXPECT_EQ(a.attempts, 1);
   EXPECT_EQ(a.summary, "gates=3");
   EXPECT_EQ(a.lint_warnings, 1);
+}
+
+TEST(Journal, ChecksummedRecordsRoundTripAndCarrySchema) {
+  const std::string path = temp_path("crc.jsonl");
+  JobRecord done;
+  done.job = "a";
+  done.status = JobStatus::kOk;
+  done.attempts = 1;
+  done.summary = "gates=3";
+  {
+    RunJournal journal(path, /*durable=*/false);
+    journal.append_header(1, false, 3);
+    AttemptRecord attempt;
+    attempt.ok = true;
+    journal.append_attempt("a", attempt);
+    journal.append_done(done);
+  }
+  const JournalLoad loaded = load_journal_checked(path);
+  EXPECT_EQ(loaded.schema, kJournalSchema);
+  EXPECT_EQ(loaded.corrupt_records, 0);
+  EXPECT_TRUE(loaded.warnings.empty());
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records.at("a").summary, "gates=3");
+  // Every line written carries the integrity field.
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"crc\":\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(Journal, CorruptRecordIsSkippedWithStructuredWarning) {
+  const std::string path = temp_path("crc_corrupt.jsonl");
+  JobRecord good;
+  good.job = "good";
+  good.status = JobStatus::kOk;
+  JobRecord bad;
+  bad.job = "bad";
+  bad.status = JobStatus::kOk;
+  {
+    RunJournal journal(path, /*durable=*/false);
+    journal.append_header(2, false, 3);
+    journal.append_done(good);
+    journal.append_done(bad);
+  }
+  // Flip one byte inside the "bad" record's payload (bit rot / torn
+  // sector), leaving the line shape intact.
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  const std::size_t at = text.find("\"job\":\"bad\"");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 8] = 'B';
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  const JournalLoad loaded = load_journal_checked(path);
+  EXPECT_EQ(loaded.corrupt_records, 1);
+  ASSERT_EQ(loaded.warnings.size(), 1u);
+  EXPECT_EQ(loaded.warnings[0].stage, FlowStage::kBatchJournal);
+  EXPECT_EQ(loaded.warnings[0].code, ErrorCode::kParseError);
+  EXPECT_NE(loaded.warnings[0].message.find("CRC"), std::string::npos);
+  // The damaged record is skipped, not half-parsed: only "good" loads.
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records.count("good"), 1u);
+}
+
+TEST(Journal, TornUnchecksummedLineInSchema2JournalWarns) {
+  const std::string path = temp_path("crc_torn.jsonl");
+  JobRecord done;
+  done.job = "a";
+  done.status = JobStatus::kOk;
+  {
+    RunJournal journal(path, /*durable=*/false);
+    journal.append_header(1, false, 3);
+    journal.append_done(done);
+  }
+  {
+    // A crash tore the next record before its crc field was written.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << R"({"type":"done","job":"b","status":"ok","atte)";
+  }
+  const JournalLoad loaded = load_journal_checked(path);
+  EXPECT_EQ(loaded.schema, kJournalSchema);
+  EXPECT_EQ(loaded.corrupt_records, 1);
+  ASSERT_EQ(loaded.warnings.size(), 1u);
+  EXPECT_NE(loaded.warnings[0].message.find("torn"), std::string::npos);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records.count("a"), 1u);
+}
+
+TEST(Journal, LegacyJournalWithoutChecksumsStillLoadsSilently) {
+  // Pre-schema-2 journals have no header schema and no crc fields; they
+  // must keep loading without warnings (old runs stay resumable).
+  const std::string path = temp_path("crc_legacy.jsonl");
+  std::ofstream(path)
+      << R"({"type":"batch","jobs":1,"isolate":0,"max_attempts":3})" << "\n"
+      << R"({"type":"done","job":"a","status":"ok","attempts":1,)"
+      << R"("ladder":"full","code":"","stage":"","message":"",)"
+      << R"("summary":"gates=3","lint_errors":0,"lint_warnings":0,"ms":1.0})"
+      << "\n";
+  const JournalLoad loaded = load_journal_checked(path);
+  EXPECT_EQ(loaded.schema, 1);
+  EXPECT_EQ(loaded.corrupt_records, 0);
+  EXPECT_TRUE(loaded.warnings.empty());
+  EXPECT_EQ(loaded.records.count("a"), 1u);
 }
 
 TEST(Journal, LastDoneRecordPerJobWins) {
