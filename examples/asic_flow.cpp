@@ -16,7 +16,10 @@
 ///                                         [--race-phases=N]
 ///                                         [--race-teval=X] [--race-tpre=X]
 ///                                         [--race-skew=X]
-///                                         [--race-margin=X] [circuit.blif]
+///                                         [--race-margin=X]
+///                                         [--prove] [--prove-budget=N]
+///                                         [--prove-fail-on=SEV]
+///                                         [--prove-strict] [circuit.blif]
 /// Without a circuit argument a built-in 4-bit comparator BLIF is used.
 /// --threads=N sets the mapper DP thread count (0 = hardware concurrency,
 /// 1 = sequential; the result is bit-identical for every thread count).
@@ -29,6 +32,13 @@
 /// writes its findings as SARIF 2.1.0; --race-phases=N sets the clock
 /// phase count and --race-teval/--race-tpre/--race-skew/--race-margin
 /// configure the evaluate / precharge windows (0 = unconstrained).
+/// --prove runs the exact proof tier (docs/PROVE.md) over the lint / csa
+/// / race findings: each provable finding becomes confirmed (witness
+/// logged), refuted (downgraded to info with a certificate), or unknown
+/// (node budget hit).  --prove-budget=N caps BDD nodes per cone (default
+/// 2^20); --prove-fail-on=info|warning|error sets the severity at which
+/// a CONFIRMED finding fails the flow; --prove-strict exits 5
+/// (kProofTimeout) when any proof obligation exceeds the budget.
 ///
 /// Batch mode (src/batch; see docs/BATCH.md):
 ///   --batch[=a,b,c]   run the asic flow over the named benchmark
@@ -180,6 +190,9 @@ int main(int argc, char** argv) {
   double csa_margin = -1.0;
   bool want_race = false;
   RaceOptions race_options;
+  bool want_prove = false;
+  ProveOptions prove_options;
+  LintSeverity prove_fail_on = LintSeverity::kError;
   int num_threads = 0;
   bool batch_mode = false;
   std::vector<std::string> batch_circuits;
@@ -242,6 +255,29 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--race-margin=", 14) == 0) {
       want_race = true;
       double_flag(argv[i] + 14, "--race-margin", &race_options.margin);
+    } else if (std::strcmp(argv[i], "--prove") == 0) {
+      want_prove = true;
+    } else if (std::strncmp(argv[i], "--prove-budget=", 15) == 0) {
+      want_prove = true;
+      int budget = 0;
+      int_flag(argv[i] + 15, "--prove-budget", &budget);
+      prove_options.node_budget = static_cast<std::uint32_t>(budget);
+    } else if (std::strncmp(argv[i], "--prove-fail-on=", 16) == 0) {
+      want_prove = true;
+      const std::string sev = argv[i] + 16;
+      if (sev == "info") prove_fail_on = LintSeverity::kInfo;
+      else if (sev == "warning") prove_fail_on = LintSeverity::kWarning;
+      else if (sev == "error") prove_fail_on = LintSeverity::kError;
+      else {
+        std::fprintf(stderr,
+                     "error: --prove-fail-on needs info|warning|error, "
+                     "got '%s'\n",
+                     sev.c_str());
+        bad_number = true;
+      }
+    } else if (std::strcmp(argv[i], "--prove-strict") == 0) {
+      want_prove = true;
+      prove_options.fail_on_budget = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       int_flag(argv[i] + 10, "--threads", &num_threads);
     } else if (std::strcmp(argv[i], "--batch") == 0) {
@@ -282,6 +318,9 @@ int main(int argc, char** argv) {
     if (csa_margin >= 0.0) batch.flow.csa_options.margin = csa_margin;
     batch.flow.race = want_race;
     batch.flow.race_options = race_options;
+    batch.flow.prove = want_prove;
+    batch.flow.prove_options = prove_options;
+    batch.flow.prove_fail_on = prove_fail_on;
     return run_batch_mode(batch_circuits, batch);
   }
 
@@ -322,6 +361,9 @@ int main(int argc, char** argv) {
     if (csa_margin >= 0.0) options.csa_options.margin = csa_margin;
     options.race = want_race;
     options.race_options = race_options;
+    options.prove = want_prove;
+    options.prove_options = prove_options;
+    options.prove_fail_on = prove_fail_on;
     GuardOptions gopts;
     gopts.cancel = signal_cancel_token();
     const FlowOutcome outcome = run_flow_guarded(model, options, gopts);
@@ -366,6 +408,16 @@ int main(int argc, char** argv) {
             race_sarif_path,
             flow.race->lint.to_sarif(path.empty() ? "cmp4.blif" : path));
         std::printf("[race]      wrote %s\n", race_sarif_path.c_str());
+      }
+    }
+    if (flow.prove.has_value()) {
+      std::printf("[prove]     %s  budget_hits=%d\n",
+                  flow.prove->summary().c_str(), flow.prove->budget_hits);
+      for (const ProofRecord& r : flow.prove->records) {
+        std::printf("[prove]       %-9s %s %s: %s\n",
+                    proof_status_name(r.status), r.rule.c_str(),
+                    r.location.qualified_name().c_str(),
+                    r.certificate.c_str());
       }
     }
     if (outcome.diagnostic.has_value()) return report(*outcome.diagnostic);

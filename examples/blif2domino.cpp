@@ -39,6 +39,13 @@
 ///   --race-tpre=X            precharge window (0 = unconstrained)
 ///   --race-skew=X            worst-case clock skew absorbed per handoff
 ///   --race-margin=X          required skew-tolerance margin (warn below)
+///
+///   --prove                  exact proof tier over lint/csa/race findings
+///                            (docs/PROVE.md): confirmed / refuted / unknown
+///   --prove-budget=N         BDD node budget per cone problem (default 2^20)
+///   --prove-fail-on=SEV      fail on CONFIRMED findings >= error|warning|info
+///   --prove-strict           exit 5 (kProofTimeout) on any budget hit
+///   --prove-json=FILE        write the ProveReport (witnesses, certificates)
 ///   --diag-json              print failures/warnings as JSON diagnostics
 ///
 /// Output files (--spice/--verilog/--dnl/--lint-sarif) are written
@@ -81,7 +88,9 @@ namespace {
       "          [--race] [--race-sarif=FILE]\n"
       "          [--race-fail-on=error|warning|info] [--race-phases=N]\n"
       "          [--race-teval=X] [--race-tpre=X] [--race-skew=X]\n"
-      "          [--race-margin=X] [--diag-json]\n"
+      "          [--race-margin=X] [--prove] [--prove-budget=N]\n"
+      "          [--prove-fail-on=error|warning|info] [--prove-strict]\n"
+      "          [--prove-json=FILE] [--diag-json]\n"
       "          circuit.{blif,v}\n",
       argv0);
   std::exit(64);
@@ -104,6 +113,7 @@ int main(int argc, char** argv) {
   std::string lint_sarif_path;
   std::string csa_sarif_path;
   std::string race_sarif_path;
+  std::string prove_json_path;
   std::string spice_path;
   std::string verilog_path;
   std::string dnl_path;
@@ -218,6 +228,28 @@ int main(int argc, char** argv) {
       options.race = true;
       double_flag(arg.substr(14), "--race-margin",
                   &options.race_options.margin);
+    } else if (arg == "--prove") {
+      options.prove = true;
+    } else if (arg.rfind("--prove-budget=", 0) == 0) {
+      options.prove = true;
+      int budget = 0;
+      int_flag(arg.substr(15), "--prove-budget", &budget);
+      options.prove_options.node_budget = static_cast<std::uint32_t>(budget);
+    } else if (arg == "--prove-fail-on=error") {
+      options.prove = true;
+      options.prove_fail_on = LintSeverity::kError;
+    } else if (arg == "--prove-fail-on=warning") {
+      options.prove = true;
+      options.prove_fail_on = LintSeverity::kWarning;
+    } else if (arg == "--prove-fail-on=info") {
+      options.prove = true;
+      options.prove_fail_on = LintSeverity::kInfo;
+    } else if (arg == "--prove-strict") {
+      options.prove = true;
+      options.prove_options.fail_on_budget = true;
+    } else if (arg.rfind("--prove-json=", 0) == 0) {
+      options.prove = true;
+      prove_json_path = arg.substr(13);
     } else if (arg == "--diag-json") {
       diag_json = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -298,6 +330,15 @@ int main(int argc, char** argv) {
       if (!race_sarif_path.empty()) {
         write_file_atomic(race_sarif_path, result.race->lint.to_sarif(path));
         std::printf("wrote %s\n", race_sarif_path.c_str());
+      }
+    }
+    if (result.prove.has_value()) {
+      std::printf("prove: %s (budget_hits=%d)\n",
+                  result.prove->summary().c_str(),
+                  result.prove->budget_hits);
+      if (!prove_json_path.empty()) {
+        write_file_atomic(prove_json_path, result.prove->to_json());
+        std::printf("wrote %s\n", prove_json_path.c_str());
       }
     }
     if (want_timing) {

@@ -34,6 +34,11 @@
 ///             --race-skew=X --race-margin=X  (static phase / race
 ///             analysis per job; the ladder drops the clock windows
 ///             before relaxing other limits — docs/RACE.md)
+///             --prove --prove-budget=N --prove-fail-on=SEV --prove-strict
+///             (exact proof tier over the analyzer findings; refuted
+///             findings are downgraded before the fail-on gates, and the
+///             verdict counts ride the journal / manifest byte-identically
+///             across --resume — docs/PROVE.md)
 ///
 /// Exit codes (docs/ERRORS.md): 0 all jobs ok (or terminal with
 /// --allow-failures), 7 some jobs failed/quarantined, 6 batch aborted
@@ -64,7 +69,10 @@ namespace {
       "          [--seq-aware] [--exact] [--verify=N]\n"
       "          [--csa] [--csa-margin=X]\n"
       "          [--race] [--race-phases=N] [--race-teval=X] [--race-tpre=X]\n"
-      "          [--race-skew=X] [--race-margin=X] [circuit.blif ...]\n",
+      "          [--race-skew=X] [--race-margin=X]\n"
+      "          [--prove] [--prove-budget=N]\n"
+      "          [--prove-fail-on=error|warning|info] [--prove-strict]\n"
+      "          [circuit.blif ...]\n",
       argv0);
   std::exit(64);
 }
@@ -208,6 +216,26 @@ int main(int argc, char** argv) {
       options.flow.race = true;
       double_flag(arg.substr(14), "--race-margin",
                   &options.flow.race_options.margin);
+    } else if (arg == "--prove") {
+      options.flow.prove = true;
+    } else if (arg.rfind("--prove-budget=", 0) == 0) {
+      options.flow.prove = true;
+      int budget = 0;
+      int_flag(arg.substr(15), "--prove-budget", &budget);
+      options.flow.prove_options.node_budget =
+          static_cast<std::uint32_t>(budget);
+    } else if (arg == "--prove-fail-on=error") {
+      options.flow.prove = true;
+      options.flow.prove_fail_on = LintSeverity::kError;
+    } else if (arg == "--prove-fail-on=warning") {
+      options.flow.prove = true;
+      options.flow.prove_fail_on = LintSeverity::kWarning;
+    } else if (arg == "--prove-fail-on=info") {
+      options.flow.prove = true;
+      options.flow.prove_fail_on = LintSeverity::kInfo;
+    } else if (arg == "--prove-strict") {
+      options.flow.prove = true;
+      options.flow.prove_options.fail_on_budget = true;
     } else if (arg.rfind("--", 0) == 0) {
       usage(argv[0]);
     } else {

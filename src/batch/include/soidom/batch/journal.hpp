@@ -78,6 +78,12 @@ struct JobRecord {
   /// analyzer findings without re-running the flow.
   int analyzer_errors = 0;
   int analyzer_warnings = 0;
+  /// Proof-tier verdict counts (FlowOptions::prove runs).  All zero when
+  /// the flow ran without the prove stage.  Deterministic: the proof
+  /// statuses are byte-identical across thread counts and --resume.
+  int prove_confirmed = 0;
+  int prove_refuted = 0;
+  int prove_unknown = 0;
   double ms = 0.0;            ///< journal-only (nondeterministic)
 };
 

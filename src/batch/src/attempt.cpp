@@ -70,6 +70,14 @@ AttemptOutcome execute_attempt_inprocess(const BatchJob& job,
         analyzer_counts(flow.result->race->lint);
       }
     }
+    // Proof verdicts are facts about the circuit even when a downstream
+    // gate fails the attempt (a confirmed finding is usually *why* it
+    // failed), so fill them outside the ok check.
+    if (flow.result.has_value() && flow.result->prove.has_value()) {
+      out.prove_confirmed = flow.result->prove->confirmed;
+      out.prove_refuted = flow.result->prove->refuted;
+      out.prove_unknown = flow.result->prove->unknown;
+    }
   } catch (const GuardError& e) {
     out.ok = false;
     out.diagnostic = e.to_diagnostic();

@@ -21,6 +21,10 @@ struct AttemptOutcome {
   /// Findings from the optional analyzer stages (CSA + race lint).
   int analyzer_errors = 0;
   int analyzer_warnings = 0;
+  /// Proof-tier verdict counts when the flow ran with FlowOptions::prove.
+  int prove_confirmed = 0;
+  int prove_refuted = 0;
+  int prove_unknown = 0;
 };
 
 /// Run one attempt in this process: hook, per-attempt fault injector,

@@ -73,9 +73,10 @@ bool write_all(int fd, const char* data, std::size_t size) {
 
 std::string encode_attempt_outcome(const AttemptOutcome& outcome) {
   if (outcome.ok) {
-    return format("OK\t%d\t%d\t%d\t%d\t%s", outcome.lint_errors,
+    return format("OK\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s", outcome.lint_errors,
                   outcome.lint_warnings, outcome.analyzer_errors,
-                  outcome.analyzer_warnings,
+                  outcome.analyzer_warnings, outcome.prove_confirmed,
+                  outcome.prove_refuted, outcome.prove_unknown,
                   json_escape(outcome.summary).c_str());
   }
   const Diagnostic d = outcome.diagnostic.value_or(
@@ -87,11 +88,11 @@ std::string encode_attempt_outcome(const AttemptOutcome& outcome) {
 std::optional<AttemptOutcome> decode_attempt_outcome(const std::string& line) {
   // json_escape removes raw tabs/newlines from the payload fields, so a
   // plain tab split is unambiguous; the final field keeps everything.
-  // OK records carry 5 payload fields, ERR records 3.
+  // OK records carry 8 payload fields, ERR records 3.
   const std::size_t t1 = line.find('\t');
   if (t1 == std::string::npos) return std::nullopt;
   const std::string kind = line.substr(0, t1);
-  const std::size_t want = kind == "OK" ? 5 : 3;
+  const std::size_t want = kind == "OK" ? 8 : 3;
   std::vector<std::string> fields;
   std::size_t at = t1;
   while (fields.size() + 1 < want) {
@@ -109,7 +110,10 @@ std::optional<AttemptOutcome> decode_attempt_outcome(const std::string& line) {
     out.lint_warnings = std::atoi(fields[1].c_str());
     out.analyzer_errors = std::atoi(fields[2].c_str());
     out.analyzer_warnings = std::atoi(fields[3].c_str());
-    out.summary = json_unescape(fields[4]);
+    out.prove_confirmed = std::atoi(fields[4].c_str());
+    out.prove_refuted = std::atoi(fields[5].c_str());
+    out.prove_unknown = std::atoi(fields[6].c_str());
+    out.summary = json_unescape(fields[7]);
     return out;
   }
   if (kind == "ERR") {

@@ -26,12 +26,14 @@ std::string job_record_fields_json(const JobRecord& r) {
       R"("job":"%s","status":"%s","attempts":%d,"ladder":"%s",)"
       R"("code":"%s","stage":"%s","message":"%s","summary":"%s",)"
       R"("lint_errors":%d,"lint_warnings":%d,)"
-      R"("analyzer_errors":%d,"analyzer_warnings":%d)",
+      R"("analyzer_errors":%d,"analyzer_warnings":%d,)"
+      R"("prove_confirmed":%d,"prove_refuted":%d,"prove_unknown":%d)",
       json_escape(r.job).c_str(), job_status_name(r.status), r.attempts,
       json_escape(r.ladder).c_str(), json_escape(r.code).c_str(),
       json_escape(r.stage).c_str(), json_escape(r.message).c_str(),
       json_escape(r.summary).c_str(), r.lint_errors, r.lint_warnings,
-      r.analyzer_errors, r.analyzer_warnings);
+      r.analyzer_errors, r.analyzer_warnings, r.prove_confirmed,
+      r.prove_refuted, r.prove_unknown);
 }
 
 bool parse_job_record_fields(std::string_view line, JobRecord* out) {
@@ -52,6 +54,9 @@ bool parse_job_record_fields(std::string_view line, JobRecord* out) {
   json_find_int(line, "lint_warnings", &r.lint_warnings);
   json_find_int(line, "analyzer_errors", &r.analyzer_errors);
   json_find_int(line, "analyzer_warnings", &r.analyzer_warnings);
+  json_find_int(line, "prove_confirmed", &r.prove_confirmed);
+  json_find_int(line, "prove_refuted", &r.prove_refuted);
+  json_find_int(line, "prove_unknown", &r.prove_unknown);
   *out = std::move(r);
   return true;
 }

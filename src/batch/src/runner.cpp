@@ -250,6 +250,9 @@ void run_one_job(const BatchJob& job, const BatchOptions& options,
       rec.lint_warnings = ao.lint_warnings;
       rec.analyzer_errors = ao.analyzer_errors;
       rec.analyzer_warnings = ao.analyzer_warnings;
+      rec.prove_confirmed = ao.prove_confirmed;
+      rec.prove_refuted = ao.prove_refuted;
+      rec.prove_unknown = ao.prove_unknown;
       rec.ms = elapsed_ms(job_start);
       if (journal.append([&](RunJournal& j) { j.append_done(rec); })) {
         out.terminal = true;
@@ -272,6 +275,12 @@ void run_one_job(const BatchJob& job, const BatchOptions& options,
                      : JobStatus::kFailed;
     rec.attempts = attempt;
     rec.ladder = ar.ladder;
+    // Proof verdicts survive into failed records: a confirmed finding is
+    // usually the reason the gate failed, and a refutation count of zero
+    // vs "prove never ran" matters for triage.
+    rec.prove_confirmed = ao.prove_confirmed;
+    rec.prove_refuted = ao.prove_refuted;
+    rec.prove_unknown = ao.prove_unknown;
     rec.code = error_code_name(diag.code);
     rec.stage = flow_stage_name(diag.stage);
     rec.message = diag.message;

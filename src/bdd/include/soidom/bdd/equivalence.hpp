@@ -22,6 +22,25 @@ std::vector<BddManager::Ref> build_output_bdds(
     BddManager& manager, const Network& net,
     const std::vector<unsigned>& pi_vars);
 
+/// Witness of an inequivalence found by equivalent_exact_cex: one input
+/// cube (in network A's PI order) on which a mismatching output pair
+/// differs.
+struct EquivalenceCounterexample {
+  std::size_t output_index = 0;  ///< index into a.outputs()
+  std::string output;            ///< that output's name ("" when unnamed)
+  /// One value per PI of network A (A's PI order).  Evaluating both
+  /// networks on this cube yields different values for `output`.
+  std::vector<bool> pi_values;
+};
+
+/// Outcome of an exact equivalence check with cube extraction.
+struct EquivalenceCheck {
+  bool equivalent = true;
+  /// Set exactly when !equivalent: the first mismatching output (in
+  /// network B's output order) with a distinguishing input cube.
+  std::optional<EquivalenceCounterexample> counterexample;
+};
+
 /// Exact equivalence of two networks.  Interfaces are matched by NAME:
 /// when the PI and PO name sequences agree positionally (the common
 /// case, including unnamed interfaces) the match is positional;
@@ -34,5 +53,12 @@ std::vector<BddManager::Ref> build_output_bdds(
 /// node limit was exceeded (fall back to sim).
 std::optional<bool> equivalent_exact(const Network& a, const Network& b,
                                      std::size_t node_limit = 1u << 22);
+
+/// As equivalent_exact, but on inequivalence also extracts a concrete
+/// distinguishing input cube (cofactor-based, from the XOR of the first
+/// mismatching output pair).  Same interface-matching rules and
+/// structured size-mismatch errors; std::nullopt on node-limit blow-up.
+std::optional<EquivalenceCheck> equivalent_exact_cex(
+    const Network& a, const Network& b, std::size_t node_limit = 1u << 22);
 
 }  // namespace soidom

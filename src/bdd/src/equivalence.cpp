@@ -143,8 +143,8 @@ std::vector<BddManager::Ref> build_output_bdds(BddManager& manager,
   return build_output_bdds(manager, net, identity);
 }
 
-std::optional<bool> equivalent_exact(const Network& a, const Network& b,
-                                     std::size_t node_limit) {
+std::optional<EquivalenceCheck> equivalent_exact_cex(
+    const Network& a, const Network& b, std::size_t node_limit) {
   StageScope stage(FlowStage::kExact);
   SOIDOM_FAULT_PROBE(FlowStage::kExact);
   if (a.pis().size() != b.pis().size()) {
@@ -170,16 +170,40 @@ std::optional<bool> equivalent_exact(const Network& a, const Network& b,
     const std::vector<BddManager::Ref> a_out = build_output_bdds(manager, a);
     const std::vector<BddManager::Ref> b_out =
         build_output_bdds(manager, b, b_pi_vars);
+    EquivalenceCheck check;
     for (std::size_t i = 0; i < b_out.size(); ++i) {
-      if (b_out[i] != a_out[out_map[i]]) return false;
+      if (b_out[i] == a_out[out_map[i]]) continue;
+      check.equivalent = false;
+      // Distinguishing cube: any satisfying assignment of the XOR of the
+      // first mismatching pair (variables are a's PIs by construction).
+      const BddManager::Ref diff =
+          manager.apply_xor(b_out[i], a_out[out_map[i]]);
+      SOIDOM_ASSERT(diff != BddManager::kFalse);
+      const auto cube = manager.any_sat(diff);
+      SOIDOM_ASSERT(cube.has_value());
+      EquivalenceCounterexample cex;
+      cex.output_index = out_map[i];
+      cex.output = a.outputs()[out_map[i]].name;
+      cex.pi_values = *cube;
+      cex.pi_values.resize(a.pis().size());
+      check.counterexample = std::move(cex);
+      break;
     }
-    return true;
+    return check;
   } catch (const GuardError& e) {
     // Only a blow-up is a fallback-to-simulation outcome; cancellation,
     // deadline, and budget trips must keep propagating.
     if (e.code() == ErrorCode::kBddNodeLimit) return std::nullopt;
     throw;
   }
+}
+
+std::optional<bool> equivalent_exact(const Network& a, const Network& b,
+                                     std::size_t node_limit) {
+  const std::optional<EquivalenceCheck> check =
+      equivalent_exact_cex(a, b, node_limit);
+  if (!check.has_value()) return std::nullopt;
+  return check->equivalent;
 }
 
 }  // namespace soidom

@@ -26,6 +26,7 @@
 #include "soidom/mapper/cone.hpp"
 #include "soidom/mapper/mapper.hpp"
 #include "soidom/network/network.hpp"
+#include "soidom/prove/prove.hpp"
 #include "soidom/race/race.hpp"
 #include "soidom/unate/unate.hpp"
 
@@ -69,6 +70,18 @@ struct FlowOptions {
   bool race = false;
   LintSeverity race_fail_on = LintSeverity::kError;
   RaceOptions race_options;
+  /// Exact proof tier (prove/prove.hpp) after the analyzers: refines the
+  /// provable lint / csa / race findings in place (confirmed / refuted /
+  /// unknown, see docs/PROVE.md) and records the ProveReport in
+  /// FlowResult::prove.  Refuted findings are downgraded to info before
+  /// the fail-on gates run, so a flow that would have failed on a false
+  /// positive passes with the proof certificate logged.  Additionally,
+  /// CONFIRMED findings at or above `prove_fail_on` fail the flow with a
+  /// kProve diagnostic even when their family's own fail-on gate is
+  /// looser (a proven hazard is not a conservative bound any more).
+  bool prove = false;
+  LintSeverity prove_fail_on = LintSeverity::kError;
+  ProveOptions prove_options;
   /// Functional verification by random simulation (0 disables).
   int verify_rounds = 8;
   std::uint64_t verify_seed = 0x50D0;
@@ -95,6 +108,10 @@ struct FlowResult {
   std::optional<CsaResult> csa;
   /// Race analysis outcome when FlowOptions::race was set.
   std::optional<RaceResult> race;
+  /// Proof-tier outcome when FlowOptions::prove was set.  The refined
+  /// proof statuses also live on the findings inside `lint` / `csa` /
+  /// `race` (Finding::proof / original_severity / proof_note).
+  std::optional<ProveReport> prove;
   /// Error-severity lint findings, flattened (legacy view of `lint`).
   VerifyReport structure;
   VerifyReport function;

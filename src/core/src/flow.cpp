@@ -136,11 +136,6 @@ void run_stages(const Network& source, const FlowOptions& options,
   lopts.max_width = mopts.max_width;
   lopts.max_height = mopts.max_height;
   result.lint = run_lint(result.netlist, lopts, &source);
-  for (const Finding& f : result.lint.findings) {
-    if (f.severity >= LintSeverity::kError) {
-      result.structure.problems.push_back(f.to_string());
-    }
-  }
 
   if (options.csa) {
     enter(guard, FlowStage::kCsa);
@@ -150,6 +145,32 @@ void run_stages(const Network& source, const FlowOptions& options,
   if (options.race) {
     enter(guard, FlowStage::kRace);
     result.race = run_race(result.netlist, options.race_options);
+  }
+
+  if (options.prove) {
+    enter(guard, FlowStage::kProve);
+    result.prove = run_prove(
+        result.netlist, &result.lint, result.csa ? &*result.csa : nullptr,
+        result.race ? &*result.race : nullptr, lopts, options.csa_options,
+        options.prove_options);
+    if (result.prove->budget_hits > 0) {
+      out.warnings.push_back(Diagnostic{
+          ErrorCode::kProofTimeout, FlowStage::kProve,
+          format("%d of %d proof obligations exceeded the node budget "
+                 "(%u); their conservative verdicts stand",
+                 result.prove->budget_hits, result.prove->targets(),
+                 result.prove->node_budget),
+          {}});
+    }
+  }
+
+  // The legacy structure report flattens error-severity findings AFTER
+  // the proof tier, so a refuted (downgraded) finding no longer fails
+  // the flow — that is the entire point of refutation.
+  for (const Finding& f : result.lint.findings) {
+    if (f.severity >= LintSeverity::kError) {
+      result.structure.problems.push_back(f.to_string());
+    }
   }
 
   if (options.verify_rounds > 0) {
@@ -249,6 +270,36 @@ void run_stages(const Network& source, const FlowOptions& options,
       }
     }
     out.diagnostic = std::move(d);
+  } else if (result.prove.has_value() && [&] {
+               for (const ProofRecord& r : result.prove->records) {
+                 if (r.status == ProofStatus::kConfirmed) return true;
+               }
+               return false;
+             }()) {
+    // A CONFIRMED finding is a proven hazard, not a conservative bound:
+    // it fails the flow at prove_fail_on even when its family's own gate
+    // is looser.  (Severity is checked per finding below; confirmed
+    // findings keep their original severity.)
+    Diagnostic d{ErrorCode::kVerificationFailed, FlowStage::kProve,
+                 format("proof tier confirmed findings at severity >= %s: %s",
+                        lint_severity_name(options.prove_fail_on),
+                        result.prove->summary().c_str()),
+                 {}};
+    const auto gate_confirmed = [&](const LintReport& report) {
+      for (const Finding& f : report.findings) {
+        if (!f.waived && f.proof == ProofStatus::kConfirmed &&
+            f.severity >= options.prove_fail_on) {
+          d.context.push_back(f.to_string());
+        }
+      }
+    };
+    gate_confirmed(result.lint);
+    if (result.csa.has_value()) gate_confirmed(result.csa->lint);
+    if (result.race.has_value()) gate_confirmed(result.race->lint);
+    if (!d.context.empty()) out.diagnostic = std::move(d);
+  }
+  if (out.diagnostic.has_value()) {
+    // first failing gate wins; fall through to the epilogue
   } else if (!result.function.ok()) {
     out.diagnostic = Diagnostic{ErrorCode::kVerificationFailed,
                                 FlowStage::kVerifyFunction,
@@ -335,6 +386,16 @@ void validate(const FlowOptions& options) {
                    format("FlowOptions.csa_options.num_threads = %d is "
                           "invalid (need num_threads >= 0)",
                           options.csa_options.num_threads));
+  }
+  if (options.prove) {
+    SOIDOM_REQUIRE(options.prove_options.node_budget >= 2,
+                   format("FlowOptions.prove_options.node_budget = %u is "
+                          "invalid (need node_budget >= 2)",
+                          options.prove_options.node_budget));
+    SOIDOM_REQUIRE(options.prove_options.num_threads >= 0,
+                   format("FlowOptions.prove_options.num_threads = %d is "
+                          "invalid (need num_threads >= 0)",
+                          options.prove_options.num_threads));
   }
   if (options.race) {
     SOIDOM_REQUIRE(options.race_options.num_phases >= 1,
@@ -428,6 +489,9 @@ std::string summarize(const FlowResult& r) {
     out += format(" race=%s skew_tol=%.3f",
                   r.race->lint.summary().c_str(),
                   r.race->report.skew_tolerance);
+  }
+  if (r.prove.has_value()) {
+    out += format(" prove=%s", r.prove->summary().c_str());
   }
   return out;
 }

@@ -40,6 +40,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -148,6 +149,41 @@ struct CsaPulldownBound {
 CsaPulldownBound bound_pulldown(const CsaPdnModel& model,
                                 const std::vector<double>& caps,
                                 const CsaOptions& options);
+
+/// The distinct input signals of `model`, ascending — bit i of an
+/// enumerated state's "in=" witness refers to csa_state_signals()[i].
+std::vector<std::uint32_t> csa_state_signals(const CsaPdnModel& model);
+
+/// The free internal nodes of `model` (>= 2, no discharge pMOS),
+/// ascending — bit i of a state's "pre=" witness refers to
+/// csa_free_nodes()[i].
+std::vector<std::uint16_t> csa_free_nodes(const CsaPdnModel& model);
+
+/// Hooks into the state enumeration, used by the exact proof tier
+/// (src/prove) to restrict the bound to reachable input assignments and
+/// to pick replayable witness states.  Both hooks are optional.
+struct CsaStateCallbacks {
+  /// Called once per enumerated input assignment (before its precharge
+  /// states are expanded); return false to exclude the assignment — and
+  /// every precharge state over it — from the bound.  `inputs[i]` is the
+  /// value of csa_state_signals()[i].
+  std::function<bool(const std::vector<bool>& inputs)> admit;
+  /// Called for every admitted, non-legit-discharge state with its droop
+  /// contribution.  `precharge[i]` is the value of csa_free_nodes()[i].
+  std::function<void(const std::vector<bool>& inputs,
+                     const std::vector<bool>& precharge, double droop,
+                     double share_cap, int firings, bool flip)>
+      visit;
+};
+
+/// bound_pulldown with enumeration hooks.  With empty callbacks this is
+/// exactly the plain overload (which forwards here).  The truncation
+/// fallback ignores the callbacks — a truncated bound is not refined,
+/// only re-derived — and reports itself via CsaPulldownBound::truncated.
+CsaPulldownBound bound_pulldown(const CsaPdnModel& model,
+                                const std::vector<double>& caps,
+                                const CsaOptions& options,
+                                const CsaStateCallbacks& callbacks);
 
 /// Per-gate analysis result.
 struct CsaGateReport {

@@ -95,9 +95,37 @@ std::string state_witness(long state, std::size_t num_signals,
 
 }  // namespace
 
+std::vector<std::uint32_t> csa_state_signals(const CsaPdnModel& model) {
+  std::vector<std::uint32_t> signals;
+  signals.reserve(model.devices.size());
+  for (const CsaDevice& d : model.devices) signals.push_back(d.signal);
+  std::sort(signals.begin(), signals.end());
+  signals.erase(std::unique(signals.begin(), signals.end()), signals.end());
+  return signals;
+}
+
+std::vector<std::uint16_t> csa_free_nodes(const CsaPdnModel& model) {
+  std::vector<bool> discharged(static_cast<std::size_t>(model.num_nodes),
+                               false);
+  for (const std::uint16_t n : model.discharged) discharged[n] = true;
+  std::vector<std::uint16_t> free_nodes;
+  for (std::size_t v = 2; v < static_cast<std::size_t>(model.num_nodes);
+       ++v) {
+    if (!discharged[v]) free_nodes.push_back(static_cast<std::uint16_t>(v));
+  }
+  return free_nodes;
+}
+
 CsaPulldownBound bound_pulldown(const CsaPdnModel& model,
                                 const std::vector<double>& caps,
                                 const CsaOptions& options) {
+  return bound_pulldown(model, caps, options, CsaStateCallbacks{});
+}
+
+CsaPulldownBound bound_pulldown(const CsaPdnModel& model,
+                                const std::vector<double>& caps,
+                                const CsaOptions& options,
+                                const CsaStateCallbacks& callbacks) {
   SOIDOM_REQUIRE(caps.size() == static_cast<std::size_t>(model.num_nodes),
                  "bound_pulldown: caps do not match the model");
   SOIDOM_REQUIRE(options.max_states >= 1,
@@ -118,11 +146,7 @@ CsaPulldownBound bound_pulldown(const CsaPdnModel& model,
   // internal junction (precharge state unknown).  The bottom terminal's
   // precharge state is irrelevant: devices sitting on it can never fire
   // (see file comment) and it is never part of a sharing component.
-  std::vector<std::uint32_t> signals;
-  signals.reserve(model.devices.size());
-  for (const CsaDevice& d : model.devices) signals.push_back(d.signal);
-  std::sort(signals.begin(), signals.end());
-  signals.erase(std::unique(signals.begin(), signals.end()), signals.end());
+  const std::vector<std::uint32_t> signals = csa_state_signals(model);
   std::vector<std::size_t> signal_bit(model.devices.size());
   for (std::size_t t = 0; t < model.devices.size(); ++t) {
     signal_bit[t] = static_cast<std::size_t>(
@@ -130,10 +154,7 @@ CsaPulldownBound bound_pulldown(const CsaPdnModel& model,
                          model.devices[t].signal) -
         signals.begin());
   }
-  std::vector<std::uint16_t> free_nodes;
-  for (std::size_t v = 2; v < num_nodes; ++v) {
-    if (!discharged[v]) free_nodes.push_back(static_cast<std::uint16_t>(v));
-  }
+  const std::vector<std::uint16_t> free_nodes = csa_free_nodes(model);
 
   CsaPulldownBound bound;
   const std::size_t bits = signals.size() + free_nodes.size();
@@ -167,11 +188,28 @@ CsaPulldownBound bound_pulldown(const CsaPdnModel& model,
   std::vector<bool> pstate(num_nodes);
   std::vector<bool> member(num_nodes);
   std::vector<std::uint16_t> stack;
+  // admit() depends only on the input bits (the low bits of s, cycling
+  // fastest), so its verdicts are memoized per input assignment.
+  std::vector<signed char> admit_cache;
+  if (callbacks.admit) admit_cache.assign(1uL << signals.size(), -1);
+  std::vector<bool> in_vec(signals.size());
+  std::vector<bool> pre_vec(free_nodes.size());
 
   for (long s = 0; s < num_states; ++s) {
     if ((s & 255) == 0) guard_checkpoint();
     for (std::size_t t = 0; t < model.devices.size(); ++t) {
       on[t] = ((s >> signal_bit[t]) & 1) != 0;
+    }
+    if (callbacks.admit) {
+      const auto in_key =
+          static_cast<std::size_t>(s) & ((1uL << signals.size()) - 1);
+      if (admit_cache[in_key] < 0) {
+        for (std::size_t i = 0; i < signals.size(); ++i) {
+          in_vec[i] = ((s >> i) & 1) != 0;
+        }
+        admit_cache[in_key] = callbacks.admit(in_vec) ? 1 : 0;
+      }
+      if (admit_cache[in_key] == 0) continue;
     }
     // A state where the ON devices alone conduct to ground is a
     // legitimate discharge: the gate is supposed to evaluate low, so
@@ -215,6 +253,15 @@ CsaPulldownBound bound_pulldown(const CsaPdnModel& model,
     const bool flip = reached && num_cand >= options.keeper_strength;
     double droop = vdd * share / (c_dyn + share) + q_pbe * firings / c_dyn;
     if (flip) droop = std::max(droop, vdd);
+    if (callbacks.visit) {
+      for (std::size_t i = 0; i < signals.size(); ++i) {
+        in_vec[i] = ((s >> i) & 1) != 0;
+      }
+      for (std::size_t i = 0; i < free_nodes.size(); ++i) {
+        pre_vec[i] = ((s >> (signals.size() + i)) & 1) != 0;
+      }
+      callbacks.visit(in_vec, pre_vec, droop, share, firings, flip);
+    }
     bound.ground_reachable = bound.ground_reachable || reached;
     bound.keeper_overpowered = bound.keeper_overpowered || flip;
     if (droop > bound.droop) {

@@ -32,6 +32,7 @@ enum class FlowStage : std::uint8_t {
   kLint,             ///< rule-based static lint over the mapped netlist
   kCsa,              ///< charge-sharing / PBE-safety static analysis
   kRace,             ///< phase / monotonicity / race static analysis
+  kProve,            ///< exact (BDD) refinement of analyzer findings
   kVerifyFunction,   ///< random-simulation equivalence
   kExact,            ///< BDD exact equivalence
   // Batch-runner stages (batch/runner.hpp); they carry fault-injection
@@ -69,6 +70,8 @@ enum class ErrorCode : std::uint8_t {
   kBddNodeLimit,       ///< BDD blow-up (node limit of the manager)
   kVerificationFailed, ///< structural / functional / exact check failed
   kFaultInjected,      ///< a FaultInjector probe fired (testing only)
+  kProofTimeout,       ///< exact-proof node budget hit; conservative
+                       ///< verdict kept (prove stage, docs/PROVE.md)
 };
 
 /// Stable lower-case identifier, e.g. "deadline_exceeded".

@@ -18,6 +18,7 @@ const char* flow_stage_name(FlowStage stage) {
     case FlowStage::kLint: return "lint";
     case FlowStage::kCsa: return "csa";
     case FlowStage::kRace: return "race";
+    case FlowStage::kProve: return "prove";
     case FlowStage::kVerifyFunction: return "verify_function";
     case FlowStage::kExact: return "exact";
     case FlowStage::kBatchJournal: return "batch_journal";
@@ -43,6 +44,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kBddNodeLimit: return "bdd_node_limit";
     case ErrorCode::kVerificationFailed: return "verification_failed";
     case ErrorCode::kFaultInjected: return "fault_injected";
+    case ErrorCode::kProofTimeout: return "proof_timeout";
   }
   return "unknown";
 }
@@ -82,7 +84,8 @@ int cli_exit_code(const Diagnostic& diagnostic) {
     case ErrorCode::kDeadlineExceeded:
     case ErrorCode::kCancelled:
     case ErrorCode::kBudgetExceeded:
-    case ErrorCode::kBddNodeLimit: return 5;
+    case ErrorCode::kBddNodeLimit:
+    case ErrorCode::kProofTimeout: return 5;
     case ErrorCode::kInvalidOptions: return 64;  // EX_USAGE
     case ErrorCode::kInternal:
     case ErrorCode::kFaultInjected: return 1;

@@ -37,6 +37,20 @@ const char* lint_severity_name(LintSeverity severity);
 /// SARIF 2.1.0 result level: "note" / "warning" / "error".
 const char* lint_severity_sarif_level(LintSeverity severity);
 
+/// Outcome of the exact proof tier (src/prove) for one finding.  kNone
+/// means the prove stage never looked at it (not a provable rule, or the
+/// stage was off).
+enum class ProofStatus : std::uint8_t {
+  kNone = 0,   ///< not refined
+  kConfirmed,  ///< flagged state proven reachable; a witness exists
+  kRefuted,    ///< flagged state proven unreachable; severity downgraded
+  kUnknown,    ///< node budget hit; conservative verdict kept
+};
+
+/// Stable lower-case identifier: "none" / "confirmed" / "refuted" /
+/// "unknown".
+const char* proof_status_name(ProofStatus status);
+
 /// Where a finding points inside the netlist.  All indices are optional
 /// (-1 = not applicable); `detail` carries the innermost element as text
 /// (a canonical junction label like "j2" or "bottom", a signal, ...).
@@ -63,6 +77,16 @@ struct Finding {
   /// Matched by a LintOptions::waivers entry: kept in the report (and
   /// rendered as a SARIF suppression) but excluded from count()/clean().
   bool waived = false;
+  /// Exact-proof refinement outcome (src/prove).  A kRefuted finding has
+  /// its severity downgraded to kInfo waiver-style; `original_severity`
+  /// preserves the conservative level so SARIF/JSON consumers and
+  /// tools/merge_sarif.py can round-trip the provenance.
+  ProofStatus proof = ProofStatus::kNone;
+  LintSeverity original_severity = LintSeverity::kInfo;
+  /// Proof certificate (refuted/unknown) or witness text (confirmed);
+  /// empty when proof == kNone.  Rendered into JSON and as a SARIF
+  /// relatedLocation message.
+  std::string proof_note;
 
   /// "error[pbe-protection] gate 4: ... (fix: attach a discharge at j1)".
   std::string to_string() const;

@@ -38,6 +38,14 @@ std::string LintReport::to_json() const {
       out += ",\"fixit\":\"" + json_escape(f.fixit) + "\"";
     }
     if (f.waived) out += ",\"waived\":true";
+    if (f.proof != ProofStatus::kNone) {
+      out += format(R"(,"proof":"%s","original_severity":"%s")",
+                    proof_status_name(f.proof),
+                    lint_severity_name(f.original_severity));
+      if (!f.proof_note.empty()) {
+        out += ",\"proof_note\":\"" + json_escape(f.proof_note) + "\"";
+      }
+    }
     out += '}';
   }
   out += "]}";
@@ -87,10 +95,30 @@ std::string LintReport::to_sarif_run(const std::string& artifact_uri) const {
                   R"("fullyQualifiedName":"%s"}]}])",
                   json_escape(f.location.to_string()).c_str(),
                   json_escape(f.location.qualified_name()).c_str());
+    if (f.proof != ProofStatus::kNone && !f.proof_note.empty()) {
+      // Witness / certificate from the exact proof tier, attached to the
+      // same logical location so viewers show it next to the finding.
+      out += format(
+          R"(,"relatedLocations":[{"message":{"text":"%s"},)"
+          R"("logicalLocations":[{"kind":"element","name":"%s",)"
+          R"("fullyQualifiedName":"%s"}]}])",
+          json_escape(f.proof_note).c_str(),
+          json_escape(f.location.to_string()).c_str(),
+          json_escape(f.location.qualified_name()).c_str());
+    }
     if (f.waived) {
       // SARIF 2.1.0 suppression: the finding was reviewed and accepted
       // (a LintOptions::waivers entry matched it).
       out += R"(,"suppressions":[{"kind":"external","status":"accepted"}])";
+    }
+    if (f.proof != ProofStatus::kNone) {
+      // Downgrade provenance (docs/PROVE.md): proofStatus plus the level
+      // the finding carried before refinement, so waiver tooling and
+      // tools/merge_sarif.py round-trip the original severity.
+      out += format(
+          R"(,"properties":{"proofStatus":"%s","originalLevel":"%s"})",
+          proof_status_name(f.proof),
+          lint_severity_sarif_level(f.original_severity));
     }
     out += '}';
   }

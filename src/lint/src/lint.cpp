@@ -24,6 +24,16 @@ const char* lint_severity_sarif_level(LintSeverity severity) {
   return "none";
 }
 
+const char* proof_status_name(ProofStatus status) {
+  switch (status) {
+    case ProofStatus::kNone: return "none";
+    case ProofStatus::kConfirmed: return "confirmed";
+    case ProofStatus::kRefuted: return "refuted";
+    case ProofStatus::kUnknown: return "unknown";
+  }
+  return "none";
+}
+
 std::string LintLocation::to_string(const DominoNetlist* netlist) const {
   std::string out;
   if (gate >= 0) {
@@ -76,6 +86,9 @@ std::string Finding::to_string() const {
                            message.c_str());
   if (!fixit.empty()) out += format(" (fix: %s)", fixit.c_str());
   if (waived) out += " [waived]";
+  if (proof != ProofStatus::kNone) {
+    out += format(" [proof: %s]", proof_status_name(proof));
+  }
   return out;
 }
 

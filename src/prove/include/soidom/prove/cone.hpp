@@ -1,0 +1,84 @@
+/// \file cone.hpp
+/// Fanin-cone Boolean functions of domino netlist signals, as BDDs over
+/// the ORIGINAL source primary inputs.
+///
+/// The static analyzers treat every distinct gate-input signal as an
+/// independent Boolean — that independence is exactly what the proof tier
+/// removes.  ConeFns rebuilds each signal's true function: an input
+/// literal becomes the (possibly negated) variable of its source PI, and
+/// a gate output becomes the OR of its pulldown conduction functions
+/// (dynamic-node discharge through the inverter; for dual gates the
+/// static NAND2 realizes fA OR fB).  Two correlated signals — `x` and
+/// `x.bar`, or two reconvergent cones — therefore constrain each other,
+/// and a conjunction over cone functions is satisfiable iff some source
+/// PI assignment actually produces the assignment in question.
+///
+/// `var_base` offsets the variable space, so one manager can hold two
+/// cycles at once (the race.static-mix refinement evaluates stale drivers
+/// over previous-cycle variables at var_base = num_source_pis()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "soidom/bdd/bdd.hpp"
+#include "soidom/domino/netlist.hpp"
+
+namespace soidom {
+
+/// Size of the source-PI variable space: max InputLiteral::source_pi + 1.
+/// NOT DominoNetlist::num_source_pis(), which counts *distinct* PIs — the
+/// index space can be sparse (a PI whose literals were all optimized away
+/// keeps its index), and both the simulators and the proof tier index
+/// vectors by source_pi directly.
+std::size_t source_pi_space(const DominoNetlist& netlist);
+
+/// Conduction predicate of the subtree rooted at `index`: leaves map
+/// through `leaf(signal)`, series nodes AND, parallel nodes OR.
+BddManager::Ref pdn_conduction(
+    BddManager& manager, const Pdn& pdn, PdnIndex index,
+    const std::function<BddManager::Ref(std::uint32_t)>& leaf);
+
+/// Memoizing builder of per-signal cone functions (see file comment).
+/// The manager must own at least var_base + netlist.num_source_pis()
+/// variables; it bounds the work through its node limit (a blow-up throws
+/// GuardError(kBddNodeLimit), which the prove stage converts into a
+/// kProofTimeout-tagged unknown verdict).
+class ConeFns {
+ public:
+  ConeFns(const DominoNetlist& netlist, BddManager& manager,
+          unsigned var_base = 0);
+
+  /// Pin source PI `source_pi` to `value`: literal_fn() of its phases
+  /// returns a constant instead of a variable.  Must be called before the
+  /// first fn()/literal_fn() touching the PI (memos are not invalidated).
+  void force_pi(int source_pi, bool value);
+
+  /// The cone function of `signal` (input literal or gate output) over
+  /// variables var_base + source PI.  Memoized; recursion terminates
+  /// because gate fanins reference strictly earlier signals.
+  BddManager::Ref fn(std::uint32_t signal);
+
+  /// The function of one input literal: the source PI's variable in the
+  /// literal's phase (or the forced constant).
+  BddManager::Ref literal_fn(const InputLiteral& literal);
+
+  /// Source PIs touched so far, ascending.
+  std::vector<int> support() const;
+
+  BddManager& manager() { return manager_; }
+
+ private:
+  const DominoNetlist& netlist_;
+  BddManager& manager_;
+  unsigned var_base_;
+  std::unordered_map<int, bool> forced_;
+  /// Per-signal memo; kInvalidRef = not built yet.
+  static constexpr BddManager::Ref kInvalidRef = 0xffffffffu;
+  std::vector<BddManager::Ref> memo_;
+  std::vector<bool> touched_;  ///< per source PI
+};
+
+}  // namespace soidom

@@ -1,0 +1,104 @@
+#include "soidom/prove/cone.hpp"
+
+#include "soidom/base/contracts.hpp"
+#include "soidom/guard/guard.hpp"
+
+namespace soidom {
+
+std::size_t source_pi_space(const DominoNetlist& netlist) {
+  int max_pi = -1;
+  for (const InputLiteral& in : netlist.inputs()) {
+    if (in.source_pi > max_pi) max_pi = in.source_pi;
+  }
+  return static_cast<std::size_t>(max_pi + 1);
+}
+
+BddManager::Ref pdn_conduction(
+    BddManager& manager, const Pdn& pdn, PdnIndex index,
+    const std::function<BddManager::Ref(std::uint32_t)>& leaf) {
+  const PdnNode& n = pdn.node(index);
+  switch (n.kind) {
+    case PdnKind::kLeaf:
+      return leaf(n.signal);
+    case PdnKind::kSeries: {
+      auto all = BddManager::kTrue;
+      for (const PdnIndex c : n.children) {
+        all = manager.apply_and(all, pdn_conduction(manager, pdn, c, leaf));
+      }
+      return all;
+    }
+    case PdnKind::kParallel: {
+      auto any = BddManager::kFalse;
+      for (const PdnIndex c : n.children) {
+        any = manager.apply_or(any, pdn_conduction(manager, pdn, c, leaf));
+      }
+      return any;
+    }
+  }
+  return BddManager::kFalse;
+}
+
+ConeFns::ConeFns(const DominoNetlist& netlist, BddManager& manager,
+                 unsigned var_base)
+    : netlist_(netlist), manager_(manager), var_base_(var_base) {
+  SOIDOM_REQUIRE(
+      manager.num_vars() >= var_base + source_pi_space(netlist),
+      "ConeFns: manager must own one variable per source PI above var_base");
+  memo_.assign(netlist.num_inputs() + netlist.gates().size(), kInvalidRef);
+  touched_.assign(source_pi_space(netlist), false);
+}
+
+void ConeFns::force_pi(int source_pi, bool value) {
+  SOIDOM_REQUIRE(source_pi >= 0 &&
+                     static_cast<std::size_t>(source_pi) < touched_.size(),
+                 "ConeFns::force_pi: source PI out of range");
+  forced_[source_pi] = value;
+}
+
+BddManager::Ref ConeFns::literal_fn(const InputLiteral& literal) {
+  SOIDOM_ASSERT(literal.source_pi >= 0 &&
+                static_cast<std::size_t>(literal.source_pi) < touched_.size());
+  const auto it = forced_.find(literal.source_pi);
+  if (it != forced_.end()) {
+    const bool value = literal.negated ? !it->second : it->second;
+    return value ? BddManager::kTrue : BddManager::kFalse;
+  }
+  touched_[static_cast<std::size_t>(literal.source_pi)] = true;
+  const auto v = var_base_ + static_cast<unsigned>(literal.source_pi);
+  return literal.negated ? manager_.nvar(v) : manager_.var(v);
+}
+
+BddManager::Ref ConeFns::fn(std::uint32_t signal) {
+  SOIDOM_ASSERT(signal < memo_.size());
+  if (memo_[signal] != kInvalidRef) return memo_[signal];
+  guard_checkpoint();
+  BddManager::Ref value;
+  if (netlist_.is_input_signal(signal)) {
+    value = literal_fn(netlist_.inputs()[signal]);
+  } else {
+    // A domino gate's output inverter makes output high <=> the pulldown
+    // conducts; a dual gate's NAND2 of the two dynamic nodes is fA OR fB.
+    const DominoGate& gate = netlist_.gates()[netlist_.gate_of_signal(signal)];
+    const auto leaf = [this](std::uint32_t s) { return fn(s); };
+    value = gate.pdn.empty()
+                ? BddManager::kFalse
+                : pdn_conduction(manager_, gate.pdn, gate.pdn.root(), leaf);
+    if (gate.dual()) {
+      value = manager_.apply_or(
+          value,
+          pdn_conduction(manager_, gate.pdn2, gate.pdn2.root(), leaf));
+    }
+  }
+  memo_[signal] = value;
+  return value;
+}
+
+std::vector<int> ConeFns::support() const {
+  std::vector<int> out;
+  for (std::size_t pi = 0; pi < touched_.size(); ++pi) {
+    if (touched_[pi]) out.push_back(static_cast<int>(pi));
+  }
+  return out;
+}
+
+}  // namespace soidom

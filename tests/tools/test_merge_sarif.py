@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/merge_sarif.py: structural validation (including
+the relatedLocations shape the proof tier emits), input-order-independent
+merging, and byte-identical-finding deduplication.
+
+Run directly (python3 tests/tools/test_merge_sarif.py) or via ctest
+(tools_merge_sarif).  No third-party dependencies.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+TOOL = os.path.join(REPO, "tools", "merge_sarif.py")
+
+SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+          "Schemata/sarif-schema-2.1.0.json")
+
+
+def make_result(rule, uri, text, level="warning", related=None):
+    result = {
+        "ruleId": rule,
+        "level": level,
+        "message": {"text": text},
+        "locations": [{
+            "physicalLocation": {"artifactLocation": {"uri": uri}},
+        }],
+    }
+    if related is not None:
+        result["relatedLocations"] = related
+    return result
+
+
+def make_log(driver, uri, results):
+    return {
+        "$schema": SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": driver,
+                "rules": [{"id": r["ruleId"]} for r in results],
+            }},
+            "artifacts": [{"location": {"uri": uri}}],
+            "results": results,
+        }],
+    }
+
+
+class MergeSarifTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def write(self, name, log):
+        with open(self.path(name), "w", encoding="utf-8") as f:
+            json.dump(log, f)
+        return self.path(name)
+
+    def run_tool(self, *args):
+        return subprocess.run(
+            [sys.executable, TOOL, *args],
+            capture_output=True, text=True, check=False)
+
+    def read_output(self, name):
+        with open(self.path(name), "r", encoding="utf-8") as f:
+            return f.read()
+
+    # -- validation ---------------------------------------------------------
+
+    def test_valid_log_passes(self):
+        a = self.write("a.sarif", make_log(
+            "soidom-lint", "c17.blif",
+            [make_result("pbe-protection", "c17.blif", "unprotected")]))
+        proc = self.run_tool("--validate-only", a)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_undeclared_rule_fails(self):
+        log = make_log("soidom-lint", "c17.blif",
+                       [make_result("pbe-protection", "c17.blif", "x")])
+        log["runs"][0]["tool"]["driver"]["rules"] = [{"id": "other-rule"}]
+        a = self.write("a.sarif", log)
+        proc = self.run_tool("--validate-only", a)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("not declared", proc.stderr)
+
+    def test_illegal_level_fails(self):
+        a = self.write("a.sarif", make_log(
+            "soidom-lint", "c17.blif",
+            [make_result("r", "c17.blif", "x", level="fatal")]))
+        proc = self.run_tool("--validate-only", a)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("not a legal SARIF level", proc.stderr)
+
+    def test_related_location_with_message_passes(self):
+        a = self.write("a.sarif", make_log(
+            "soidom-lint", "c17.blif",
+            [make_result("r", "c17.blif", "x", related=[
+                {"message": {"text": "proof: refuted (certificate ...)"}},
+                {"message": {"text": "witness"},
+                 "physicalLocation": {
+                     "artifactLocation": {"uri": "c17.blif"}}},
+            ])]))
+        proc = self.run_tool("--validate-only", a)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_related_location_without_message_fails(self):
+        a = self.write("a.sarif", make_log(
+            "soidom-lint", "c17.blif",
+            [make_result("r", "c17.blif", "x",
+                         related=[{"physicalLocation": {
+                             "artifactLocation": {"uri": "c17.blif"}}}])]))
+        proc = self.run_tool("--validate-only", a)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("relatedLocations[0].message.text", proc.stderr)
+
+    def test_related_location_empty_uri_fails(self):
+        a = self.write("a.sarif", make_log(
+            "soidom-lint", "c17.blif",
+            [make_result("r", "c17.blif", "x", related=[
+                {"message": {"text": "note"},
+                 "physicalLocation": {"artifactLocation": {"uri": ""}}}])]))
+        proc = self.run_tool("--validate-only", a)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("artifact uri missing", proc.stderr)
+
+    def test_unreadable_input_exits_2(self):
+        proc = self.run_tool("--validate-only", self.path("missing.sarif"))
+        self.assertEqual(proc.returncode, 2)
+
+    # -- merging ------------------------------------------------------------
+
+    def test_merge_is_input_order_independent(self):
+        a = self.write("a.sarif", make_log(
+            "soidom-lint", "c17.blif", [make_result("r1", "c17.blif", "x")]))
+        b = self.write("b.sarif", make_log(
+            "soidom-csa", "mux.blif", [make_result("r2", "mux.blif", "y")]))
+        self.assertEqual(
+            self.run_tool("-o", self.path("ab.sarif"), a, b).returncode, 0)
+        self.assertEqual(
+            self.run_tool("-o", self.path("ba.sarif"), b, a).returncode, 0)
+        self.assertEqual(self.read_output("ab.sarif"),
+                         self.read_output("ba.sarif"))
+
+    def test_merged_output_revalidates(self):
+        a = self.write("a.sarif", make_log(
+            "soidom-lint", "c17.blif", [make_result("r1", "c17.blif", "x")]))
+        self.assertEqual(
+            self.run_tool("-o", self.path("m.sarif"), a, a).returncode, 0)
+        self.assertEqual(
+            self.run_tool("--validate-only", self.path("m.sarif")).returncode,
+            0)
+
+    # -- dedupe -------------------------------------------------------------
+
+    def test_byte_identical_findings_dedupe_stable(self):
+        dup = make_result("r", "c17.blif", "duplicated finding")
+        first = make_result("r", "c17.blif", "kept first")
+        log = make_log("soidom-lint", "c17.blif",
+                       [first, dup, copy.deepcopy(dup)])
+        a = self.write("a.sarif", log)
+        proc = self.run_tool("-o", self.path("m.sarif"), a)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        merged = json.loads(self.read_output("m.sarif"))
+        results = merged["runs"][0]["results"]
+        self.assertEqual(len(results), 2)
+        # Stable first-occurrence order.
+        self.assertEqual(results[0]["message"]["text"], "kept first")
+        self.assertEqual(results[1]["message"]["text"], "duplicated finding")
+        self.assertIn("1 duplicate results dropped", proc.stdout)
+
+    def test_differing_proof_status_is_not_a_duplicate(self):
+        confirmed = make_result("r", "c17.blif", "finding")
+        confirmed["properties"] = {"proofStatus": "confirmed"}
+        refuted = copy.deepcopy(confirmed)
+        refuted["properties"]["proofStatus"] = "refuted"
+        a = self.write("a.sarif", make_log(
+            "soidom-lint", "c17.blif", [confirmed, refuted]))
+        proc = self.run_tool("-o", self.path("m.sarif"), a)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        merged = json.loads(self.read_output("m.sarif"))
+        self.assertEqual(len(merged["runs"][0]["results"]), 2)
+
+    def test_identical_runs_collapse(self):
+        log = make_log("soidom-lint", "c17.blif",
+                       [make_result("r", "c17.blif", "x")])
+        a = self.write("a.sarif", log)
+        b = self.write("b.sarif", copy.deepcopy(log))
+        proc = self.run_tool("-o", self.path("m.sarif"), a, b)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        merged = json.loads(self.read_output("m.sarif"))
+        self.assertEqual(len(merged["runs"]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""CI regression gate for BENCH_prove.json (written by bench/perf_prove).
+
+Enforces, in order of severity:
+
+ 1. Identity (always, on any machine): every circuit must report
+    "identical": true — the prove report and every refined analyzer
+    report are byte-identical across thread counts.  A divergent
+    refinement is a determinism bug in the proof tier, never a perf
+    tradeoff.
+
+ 2. Verdict-mix floors (always): the paper set must yield at least
+    --min-confirmed confirmed findings AND --min-refuted refutations
+    (defaults 1/1, per the acceptance bar: the exact tier both upholds
+    real hazards and retires false positives).  A run where every
+    verdict is "unknown" passes the identity gate while proving
+    nothing; this catches it.
+
+ 3. Budget hygiene (always): summary-wide budget hits may not exceed
+    --max-budget-hits (default 0).  The committed node budget is sized
+    so the paper-table cones all resolve; a hit means a cone blew up.
+
+ 4. Baseline drift (only with --baseline, typically the committed
+    BENCH_prove.json):
+      - verdict counts (total_targets / total_confirmed / total_refuted)
+        must EQUAL the baseline's — proofs are deterministic functions
+        of the code, so any change is a semantic change that should be
+        reviewed and the baseline regenerated, not absorbed silently;
+      - geomean_speedup_nt may not drop more than --max-drop (default
+        10%) below baseline, skipped when either machine cannot express
+        the concurrency (wall-clock speedups on a 1-CPU runner are
+        scheduling noise, not data).
+
+Exit codes: 0 pass, 1 gate failure, 2 bad invocation / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_prove_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def usable_threads(report):
+    """Concurrency this report's machine can honestly measure."""
+    if not report.get("hardware_concurrency_detected", False):
+        return 1
+    return int(report.get("hardware_concurrency", 1))
+
+
+def check_identity(report, failures):
+    for circuit in report.get("circuits", []):
+        if not circuit.get("identical", False):
+            failures.append(
+                f"circuit '{circuit.get('name', '?')}' produced a "
+                f"DIFFERENT refinement at some thread count"
+            )
+    summary = report.get("summary", {})
+    if "all_identical" in summary and not summary["all_identical"]:
+        failures.append("summary.all_identical is false")
+
+
+def check_verdicts(report, args, failures, notices):
+    summary = report.get("summary", {})
+    for key, floor in [
+        ("total_confirmed", args.min_confirmed),
+        ("total_refuted", args.min_refuted),
+    ]:
+        value = summary.get(key)
+        if value is None:
+            failures.append(f"summary is missing {key}")
+        elif value < floor:
+            failures.append(f"{key} = {value} is below the floor {floor}")
+        else:
+            notices.append(f"verdict floor ok: {key} = {value} >= {floor}")
+    hits = sum(c.get("budget_hits", 0) for c in report.get("circuits", []))
+    if hits > args.max_budget_hits:
+        failures.append(
+            f"{hits} budget hit(s) across the suite "
+            f"(allowed <= {args.max_budget_hits}): a cone exceeded the "
+            f"node budget the suite is sized for"
+        )
+    else:
+        notices.append(f"budget ok: {hits} hit(s)")
+
+
+def check_baseline(report, baseline, args, failures, notices):
+    if baseline.get("bench") != report.get("bench"):
+        notices.append(
+            f"baseline schema '{baseline.get('bench')}' != current "
+            f"'{report.get('bench')}': skipping drift comparison"
+        )
+        return
+    # Verdict counts are deterministic in the code, not the machine:
+    # exact equality or the baseline needs regenerating.
+    for key in ("total_targets", "total_confirmed", "total_refuted"):
+        cur = report.get("summary", {}).get(key)
+        base = baseline.get("summary", {}).get(key)
+        if cur is None or base is None:
+            notices.append(f"skipping verdict diff for {key}: value missing")
+            continue
+        if cur != base:
+            failures.append(
+                f"{key} = {cur} != baseline {base}: proof semantics "
+                f"changed — review and regenerate the baseline"
+            )
+        else:
+            notices.append(f"verdicts match baseline: {key} = {cur}")
+    cur_hw, base_hw = usable_threads(report), usable_threads(baseline)
+    if cur_hw < 4 or base_hw < 4:
+        notices.append(
+            f"skipping speedup drift check: needs 4-way machines "
+            f"(current={cur_hw}, baseline={base_hw})"
+        )
+        return
+    cur = report.get("summary", {}).get("geomean_speedup_nt")
+    base = baseline.get("summary", {}).get("geomean_speedup_nt")
+    if cur is None or base is None or base <= 0:
+        notices.append("skipping speedup drift check: value missing")
+        return
+    allowed = base * (1.0 - args.max_drop)
+    if cur < allowed:
+        failures.append(
+            f"geomean_speedup_nt = {cur:.3f} dropped more than "
+            f"{args.max_drop:.0%} below baseline {base:.3f} "
+            f"(allowed >= {allowed:.3f})"
+        )
+    else:
+        notices.append(
+            f"drift ok: geomean_speedup_nt = {cur:.3f} vs baseline {base:.3f}"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_prove.json against identity, verdict-mix "
+        "floors, and a committed baseline."
+    )
+    parser.add_argument("current", help="BENCH_prove.json from this run")
+    parser.add_argument(
+        "--baseline", help="committed BENCH_prove.json to diff against"
+    )
+    parser.add_argument(
+        "--min-confirmed",
+        type=int,
+        default=1,
+        help="floor for summary.total_confirmed (default 1)",
+    )
+    parser.add_argument(
+        "--min-refuted",
+        type=int,
+        default=1,
+        help="floor for summary.total_refuted (default 1)",
+    )
+    parser.add_argument(
+        "--max-budget-hits",
+        type=int,
+        default=0,
+        help="allowed budget hits across the suite (default 0)",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.10,
+        help="max fractional geomean speedup drop vs baseline "
+        "(default 0.10)",
+    )
+    args = parser.parse_args()
+
+    report = load(args.current)
+    if report.get("bench") != "prove":
+        print(
+            f"check_prove_bench: {args.current} has bench="
+            f"'{report.get('bench')}', expected 'prove'",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    failures, notices = [], []
+    check_identity(report, failures)
+    check_verdicts(report, args, failures, notices)
+    if args.baseline:
+        check_baseline(report, load(args.baseline), args, failures, notices)
+
+    hw = report.get("hardware_concurrency", "?")
+    detected = report.get("hardware_concurrency_detected", False)
+    print(
+        f"check_prove_bench: machine {hw} thread(s) "
+        f"({'detected' if detected else 'UNDETECTED'})"
+    )
+    for line in notices:
+        print(f"  note: {line}")
+    for line in failures:
+        print(f"  FAIL: {line}")
+    if failures:
+        print(f"check_prove_bench: {len(failures)} failure(s)")
+        return 1
+    print("check_prove_bench: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

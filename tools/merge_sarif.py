@@ -9,8 +9,12 @@ Usage:
 Merging: the runs arrays of the inputs are concatenated, then sorted by
 (tool driver name, first artifact URI) so the merged log is byte-stable
 regardless of input file order — CI can cat together artifacts from
-parallel jobs without nondeterminism.  The output is written only after
-every input validates.
+parallel jobs without nondeterminism.  Byte-identical runs and, within
+each run, byte-identical results are deduplicated (stable
+first-occurrence order): overlapping shards re-analyzing a circuit
+produce exactly-equal result objects, while results differing in any
+byte (level, message, properties.proofStatus, ...) are all kept.  The
+output is written only after every input validates.
 
 Validation is structural (no network, no jsonschema dependency): the
 required SARIF 2.1.0 properties the spec mandates for logs, runs, tools,
@@ -103,7 +107,55 @@ def validate_log(log, path):
                        if isinstance(loc, dict) else None)
                 if not isinstance(uri, str) or not uri:
                     err(f"{rwhere}.locations[{k}] artifact uri missing")
+            # relatedLocations carry the proof-tier certificates /
+            # witnesses (docs/PROVE.md): each needs a message.text, and
+            # any physicalLocation it claims must name an artifact uri.
+            related = result.get("relatedLocations", [])
+            if not isinstance(related, list):
+                err(f"{rwhere}.relatedLocations is not an array")
+                related = []
+            for k, loc in enumerate(related):
+                lwhere = f"{rwhere}.relatedLocations[{k}]"
+                if not isinstance(loc, dict):
+                    err(f"{lwhere} is not an object")
+                    continue
+                message = loc.get("message")
+                if not isinstance(message, dict) or \
+                        not isinstance(message.get("text"), str) or \
+                        not message["text"]:
+                    err(f"{lwhere}.message.text missing or empty")
+                if "physicalLocation" in loc:
+                    uri = (loc["physicalLocation"]
+                           .get("artifactLocation", {}).get("uri")
+                           if isinstance(loc["physicalLocation"], dict)
+                           else None)
+                    if not isinstance(uri, str) or not uri:
+                        err(f"{lwhere}.physicalLocation artifact uri missing")
     return errors
+
+
+def dedupe_results(runs):
+    """Drop byte-identical results within each run, keeping the first
+    occurrence (stable order).  Parallel CI shards re-analyzing the same
+    circuit produce exactly-equal result objects; anything that differs
+    in any byte (a level, a proofStatus, a message) is NOT a duplicate
+    and is kept.  Returns the number of results dropped."""
+    dropped = 0
+    for run in runs:
+        results = run.get("results")
+        if not isinstance(results, list):
+            continue
+        seen = set()
+        kept = []
+        for result in results:
+            key = json.dumps(result, sort_keys=True)
+            if key in seen:
+                dropped += 1
+                continue
+            seen.add(key)
+            kept.append(result)
+        run["results"] = kept
+    return dropped
 
 
 def run_sort_key(run):
@@ -158,16 +210,28 @@ def main():
     # Stable artifact ordering: sort by (driver name, first artifact URI)
     # with a stable sort, so same inputs in any order -> same bytes out.
     merged_runs.sort(key=run_sort_key)
+    # Byte-identical runs (the same shard uploaded twice) collapse to one;
+    # the sort's canonical-JSON tiebreak made duplicates adjacent.
+    unique_runs = []
+    for run in merged_runs:
+        if unique_runs and json.dumps(run, sort_keys=True) == \
+                json.dumps(unique_runs[-1], sort_keys=True):
+            continue
+        unique_runs.append(run)
+    dropped = dedupe_results(unique_runs)
+    kept_results = sum(len(run.get("results", [])) for run in unique_runs)
     merged = {
         "$schema": logs[0][1]["$schema"],
         "version": "2.1.0",
-        "runs": merged_runs,
+        "runs": unique_runs,
     }
     with open(args.output, "w", encoding="utf-8") as f:
         json.dump(merged, f, separators=(",", ":"), sort_keys=False)
         f.write("\n")
     print(f"merge_sarif: wrote {args.output} "
-          f"({total_runs} runs, {total_results} results)")
+          f"({len(unique_runs)} runs, {kept_results} results, "
+          f"{total_runs - len(unique_runs)} duplicate runs and "
+          f"{dropped} duplicate results dropped)")
     return 0
 
 
